@@ -1,0 +1,245 @@
+//! Beta distributions over FD confidences.
+//!
+//! The paper builds each prior "beta distribution for that FD" from a mean
+//! and a standard deviation (§A.2): `μ = α/(α+β)` and
+//! `σ² = αβ / ((α+β)²(α+β+1))`, inverted here in
+//! [`Beta::from_mean_std`]. Bayesian/FP updating adds observed
+//! successes/failures to `α`/`β`.
+
+use rand::Rng;
+
+/// A Beta(α, β) distribution.
+///
+/// ```
+/// use et_belief::Beta;
+///
+/// // The paper's user-FD prior: mean 0.85, sigma 0.05.
+/// let mut b = Beta::from_mean_std(0.85, 0.05);
+/// assert!((b.mean() - 0.85).abs() < 1e-9);
+/// b.observe(3.0, 1.0); // three supporting, one contradicting observation
+/// assert!(b.mean() < 0.85 + 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Beta {
+    /// Success pseudo-count (> 0).
+    pub alpha: f64,
+    /// Failure pseudo-count (> 0).
+    pub beta: f64,
+}
+
+impl Beta {
+    /// Creates Beta(α, β).
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha.is_finite() && beta > 0.0 && beta.is_finite(),
+            "Beta parameters must be positive and finite, got ({alpha}, {beta})"
+        );
+        Self { alpha, beta }
+    }
+
+    /// The uniform distribution Beta(1, 1).
+    pub fn uniform() -> Self {
+        Self::new(1.0, 1.0)
+    }
+
+    /// Inverts the mean/variance equations of the Beta distribution, the
+    /// construction the paper uses for all priors (mean per prior family,
+    /// σ = 0.05).
+    ///
+    /// The mean is clamped into `[0.01, 0.99]` and the standard deviation
+    /// shrunk if needed so the parameters stay valid (`σ² < μ(1−μ)`).
+    pub fn from_mean_std(mean: f64, std: f64) -> Self {
+        let mu = mean.clamp(0.01, 0.99);
+        let max_var = mu * (1.0 - mu);
+        let var = (std * std).min(max_var * 0.99).max(1e-9);
+        // ν = μ(1−μ)/σ² − 1 (total pseudo-count).
+        let nu = max_var / var - 1.0;
+        Self::new(mu * nu, (1.0 - mu) * nu)
+    }
+
+    /// The mean α/(α+β).
+    pub fn mean(&self) -> f64 {
+        self.alpha / (self.alpha + self.beta)
+    }
+
+    /// The variance αβ/((α+β)²(α+β+1)).
+    pub fn variance(&self) -> f64 {
+        let s = self.alpha + self.beta;
+        self.alpha * self.beta / (s * s * (s + 1.0))
+    }
+
+    /// The standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Total pseudo-count α+β (the prior's "weight" against new evidence).
+    pub fn pseudo_count(&self) -> f64 {
+        self.alpha + self.beta
+    }
+
+    /// Bayesian update with (possibly fractional) observed successes and
+    /// failures.
+    ///
+    /// # Panics
+    /// Panics on negative evidence.
+    pub fn observe(&mut self, successes: f64, failures: f64) {
+        assert!(
+            successes >= 0.0 && failures >= 0.0,
+            "evidence must be non-negative"
+        );
+        self.alpha += successes;
+        self.beta += failures;
+    }
+
+    /// Scales both pseudo-counts, preserving the mean while changing the
+    /// distribution's weight (used to tune prior strength in experiments).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Self::new(self.alpha * factor, self.beta * factor)
+    }
+
+    /// Draws a sample via two Gamma draws (Marsaglia–Tsang), enabling
+    /// Thompson-sampling response strategies.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = gamma_sample(self.alpha, rng);
+        let y = gamma_sample(self.beta, rng);
+        if x + y == 0.0 {
+            0.5
+        } else {
+            x / (x + y)
+        }
+    }
+}
+
+/// Gamma(shape, 1) sampling by Marsaglia & Tsang's squeeze method, with the
+/// standard boost for shape < 1.
+fn gamma_sample<R: Rng + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    debug_assert!(shape > 0.0);
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Box–Muller.
+        let (u1, u2): (f64, f64) = (rng.gen::<f64>().max(f64::MIN_POSITIVE), rng.gen());
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * z).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * z * z + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_variance_roundtrip_paper_config() {
+        // The paper's user-FD prior: mean 0.85, σ 0.05.
+        let b = Beta::from_mean_std(0.85, 0.05);
+        assert!((b.mean() - 0.85).abs() < 1e-9);
+        assert!((b.std() - 0.05).abs() < 1e-9);
+        // ν = .85*.15/.0025 − 1 = 50.
+        assert!((b.pseudo_count() - 50.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn observe_moves_mean() {
+        let mut b = Beta::uniform();
+        b.observe(8.0, 2.0);
+        assert!((b.mean() - 0.75).abs() < 1e-12); // (1+8)/(2+10)
+        b.observe(0.0, 20.0);
+        assert!(b.mean() < 0.3);
+    }
+
+    #[test]
+    fn scaled_preserves_mean() {
+        let b = Beta::from_mean_std(0.7, 0.05);
+        let s = b.scaled(0.2);
+        assert!((s.mean() - b.mean()).abs() < 1e-12);
+        assert!((s.pseudo_count() - b.pseudo_count() * 0.2).abs() < 1e-9);
+        assert!(s.std() > b.std(), "weaker prior is wider");
+    }
+
+    #[test]
+    fn from_mean_std_clamps_invalid() {
+        // σ too large for the mean: must still produce a valid Beta.
+        let b = Beta::from_mean_std(0.99, 0.5);
+        assert!(b.alpha > 0.0 && b.beta > 0.0);
+        // Extreme means clamp.
+        let b = Beta::from_mean_std(0.0, 0.05);
+        assert!(b.mean() >= 0.01 - 1e-9);
+        let b = Beta::from_mean_std(1.0, 0.05);
+        assert!(b.mean() <= 0.99 + 1e-9);
+    }
+
+    #[test]
+    fn samples_concentrate_around_mean() {
+        let b = Beta::from_mean_std(0.8, 0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 4000;
+        let mean: f64 = (0..n).map(|_| b.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 0.8).abs() < 0.01, "sample mean {mean}");
+    }
+
+    #[test]
+    fn samples_from_small_shape_valid() {
+        let b = Beta::new(0.3, 0.4);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let x = b.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_params() {
+        let _ = Beta::new(0.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_valid_region(mean in 0.05f64..0.95, std in 0.01f64..0.1) {
+            prop_assume!(std * std < mean * (1.0 - mean) * 0.9);
+            let b = Beta::from_mean_std(mean, std);
+            prop_assert!((b.mean() - mean).abs() < 1e-6);
+            prop_assert!((b.std() - std).abs() < 1e-6);
+        }
+
+        #[test]
+        fn observe_monotone(succ in 0.0f64..20.0, fail in 0.0f64..20.0) {
+            let base = Beta::from_mean_std(0.5, 0.1);
+            let mut up = base;
+            up.observe(succ, 0.0);
+            let mut down = base;
+            down.observe(0.0, fail);
+            prop_assert!(up.mean() >= base.mean() - 1e-12);
+            prop_assert!(down.mean() <= base.mean() + 1e-12);
+        }
+
+        #[test]
+        fn variance_shrinks_with_evidence(e in 1.0f64..50.0) {
+            let base = Beta::from_mean_std(0.5, 0.1);
+            let mut b = base;
+            b.observe(e / 2.0, e / 2.0);
+            prop_assert!(b.variance() < base.variance());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Divergences and calibration between beliefs.
+//!
+//! MAE (in [`crate::Belief::mae`]) is the paper's convergence metric;
+//! distribution-aware alternatives sharpen the analysis: two agents can
+//! share means while disagreeing wildly in certainty.
+
+use crate::belief::Belief;
+use crate::beta::Beta;
+
+/// KL divergence `KL(p || q)` between two Beta distributions, in nats.
+///
+/// Computed via the standard closed form with digamma/log-beta evaluated
+/// numerically.
+pub fn beta_kl(p: &Beta, q: &Beta) -> f64 {
+    ln_beta(q.alpha, q.beta) - ln_beta(p.alpha, p.beta)
+        + (p.alpha - q.alpha) * digamma(p.alpha)
+        + (p.beta - q.beta) * digamma(p.beta)
+        + (q.alpha - p.alpha + q.beta - p.beta) * digamma(p.alpha + p.beta)
+}
+
+/// Mean per-FD KL divergence between two beliefs over the same space.
+///
+/// # Panics
+/// Panics when the beliefs cover different space sizes.
+pub fn belief_kl(p: &Belief, q: &Belief) -> f64 {
+    assert_eq!(p.len(), q.len(), "beliefs must share a hypothesis space");
+    let sum: f64 = (0..p.len()).map(|i| beta_kl(p.dist(i), q.dist(i))).sum();
+    sum / p.len() as f64
+}
+
+/// Symmetrised divergence `(KL(p||q) + KL(q||p)) / 2` per FD.
+pub fn belief_j(p: &Belief, q: &Belief) -> f64 {
+    (belief_kl(p, q) + belief_kl(q, p)) / 2.0
+}
+
+/// Calibration of a belief against outcomes: the mean squared difference
+/// between each FD's confidence and its ground-truth indicator (a Brier
+/// score over the hypothesis space; 0 is perfect).
+///
+/// # Panics
+/// Panics when `truth.len()` differs from the belief size.
+pub fn brier_score(belief: &Belief, truth: &[bool]) -> f64 {
+    assert_eq!(truth.len(), belief.len(), "ground truth must align");
+    let sum: f64 = truth
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            let target = if t { 1.0 } else { 0.0 };
+            let d = belief.confidence(i) - target;
+            d * d
+        })
+        .sum();
+    sum / truth.len() as f64
+}
+
+/// Natural log of the Beta function, via `ln Γ`.
+fn ln_beta(a: f64, b: f64) -> f64 {
+    ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b)
+}
+
+/// Lanczos approximation of `ln Γ(x)` (g = 7, n = 9), accurate to ~1e-13
+/// for positive arguments.
+fn ln_gamma(x: f64) -> f64 {
+    debug_assert!(x > 0.0, "ln_gamma needs a positive argument");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Digamma ψ(x) via the recurrence + asymptotic series.
+fn digamma(mut x: f64) -> f64 {
+    debug_assert!(x > 0.0, "digamma needs a positive argument");
+    let mut acc = 0.0;
+    while x < 10.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln() - 0.5 * inv - inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_fd::{Fd, HypothesisSpace};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn space2() -> Arc<HypothesisSpace> {
+        Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([0], 1),
+            Fd::from_attrs([1], 0),
+        ]))
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        // Γ(1/2) = sqrt(pi).
+        assert!((ln_gamma(0.5) - 0.5 * std::f64::consts::PI.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn digamma_known_values() {
+        // ψ(1) = -γ (Euler–Mascheroni).
+        assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-10);
+        // ψ(x+1) = ψ(x) + 1/x.
+        assert!((digamma(3.5) - digamma(2.5) - 1.0 / 2.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn kl_zero_iff_identical() {
+        let p = Beta::new(3.0, 5.0);
+        assert!(beta_kl(&p, &p).abs() < 1e-10);
+        let q = Beta::new(5.0, 3.0);
+        assert!(beta_kl(&p, &q) > 0.01);
+    }
+
+    #[test]
+    fn belief_divergences() {
+        let s = space2();
+        let p = Belief::constant(s.clone(), Beta::new(8.0, 2.0));
+        let q = Belief::constant(s, Beta::new(2.0, 8.0));
+        assert!(belief_kl(&p, &p).abs() < 1e-10);
+        assert!(belief_kl(&p, &q) > 0.5);
+        // J-divergence is symmetric.
+        assert!((belief_j(&p, &q) - belief_j(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn brier_rewards_calibration() {
+        let s = space2();
+        let sharp = Belief::new(s.clone(), vec![Beta::new(99.0, 1.0), Beta::new(1.0, 99.0)]);
+        let fuzzy = Belief::constant(s, Beta::new(1.0, 1.0));
+        let truth = [true, false];
+        assert!(brier_score(&sharp, &truth) < 0.01);
+        assert!((brier_score(&fuzzy, &truth) - 0.25).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn kl_non_negative(a1 in 0.5f64..20.0, b1 in 0.5f64..20.0,
+                           a2 in 0.5f64..20.0, b2 in 0.5f64..20.0) {
+            let p = Beta::new(a1, b1);
+            let q = Beta::new(a2, b2);
+            prop_assert!(beta_kl(&p, &q) >= -1e-9, "KL = {}", beta_kl(&p, &q));
+        }
+
+        #[test]
+        fn ln_gamma_recurrence(x in 0.1f64..30.0) {
+            // Γ(x+1) = x Γ(x).
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            prop_assert!((lhs - rhs).abs() < 1e-8, "x = {x}: {lhs} vs {rhs}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Hypothesis testing — the paper's alternative model of human learning
+//! (§3): hold one hypothesis; every interaction, test it against the
+//! *recent* data (the preceding interaction's samples, per §A.2); if it
+//! fails to explain enough of that data, switch to the hypothesis that
+//! performs best on the window.
+
+use et_data::Table;
+use et_fd::{pair_relation, Fd, HypothesisSpace, PairRelation};
+use std::sync::Arc;
+
+use crate::update::LabeledPair;
+
+/// How a hypothesis is scored against the recent window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreMode {
+    /// Fraction of at-risk pairs the FD *satisfies* — "the FD that holds
+    /// over the observed data with the fewest exceptions" (the user-study
+    /// task, where the agent inspects the data itself). Labels are ignored.
+    DataSatisfaction,
+    /// Fraction of relevant pairs where the FD's violation prediction
+    /// matches the labels (violating pair ⇔ some dirty label) — used when
+    /// modeling *another* agent's declared hypothesis from their labels.
+    LabelConsistency,
+}
+
+/// A hypothesis-testing learner over a hypothesis space.
+#[derive(Debug, Clone)]
+pub struct HypothesisTester {
+    space: Arc<HypothesisSpace>,
+    current: usize,
+    /// Minimum score on the recent window below which the current
+    /// hypothesis is rejected.
+    pub tolerance: f64,
+    mode: ScoreMode,
+    window: Vec<LabeledPair>,
+}
+
+impl HypothesisTester {
+    /// Starts at `initial` (an index into `space`).
+    pub fn new(
+        space: Arc<HypothesisSpace>,
+        initial: usize,
+        tolerance: f64,
+        mode: ScoreMode,
+    ) -> Self {
+        assert!(initial < space.len(), "initial hypothesis out of range");
+        assert!(
+            (0.0..=1.0).contains(&tolerance),
+            "tolerance must be in [0, 1]"
+        );
+        Self {
+            space,
+            current: initial,
+            tolerance,
+            mode,
+            window: Vec::new(),
+        }
+    }
+
+    /// The current hypothesis index.
+    pub fn current_index(&self) -> usize {
+        self.current
+    }
+
+    /// The current hypothesis FD.
+    pub fn current_fd(&self) -> Fd {
+        self.space.fd(self.current)
+    }
+
+    /// The shared hypothesis space.
+    pub fn space(&self) -> &Arc<HypothesisSpace> {
+        &self.space
+    }
+
+    /// Scores hypothesis `idx` on the current window; `None` when the
+    /// window contains no pair relevant to the FD.
+    pub fn score(&self, table: &Table, idx: usize) -> Option<f64> {
+        let fd = self.space.fd(idx);
+        let mut relevant = 0u32;
+        let mut good = 0u32;
+        for p in &self.window {
+            let rel = pair_relation(table, &fd, p.a, p.b);
+            if rel == PairRelation::Irrelevant {
+                continue;
+            }
+            relevant += 1;
+            let ok = match self.mode {
+                ScoreMode::DataSatisfaction => rel == PairRelation::Satisfies,
+                ScoreMode::LabelConsistency => (rel == PairRelation::Violates) == p.any_dirty(),
+            };
+            if ok {
+                good += 1;
+            }
+        }
+        (relevant > 0).then(|| f64::from(good) / f64::from(relevant))
+    }
+
+    /// One hypothesis-testing step: replace the window with the latest
+    /// interaction's pairs, test the current hypothesis, and switch to the
+    /// best-scoring hypothesis if the current one falls below tolerance.
+    ///
+    /// Returns `true` when the hypothesis changed.
+    pub fn observe_interaction(&mut self, table: &Table, pairs: &[LabeledPair]) -> bool {
+        self.window.clear();
+        self.window.extend_from_slice(pairs);
+        let current_score = self.score(table, self.current);
+        let keep = match current_score {
+            None => true, // nothing relevant observed: no grounds to reject
+            Some(s) => s >= self.tolerance,
+        };
+        if keep {
+            return false;
+        }
+        // Reject: move to the best hypothesis on the window (ties keep the
+        // lowest index for determinism; the incumbent wins ties).
+        let mut best = self.current;
+        let mut best_score = current_score.unwrap_or(0.0);
+        for idx in 0..self.space.len() {
+            if idx == self.current {
+                continue;
+            }
+            if let Some(s) = self.score(table, idx) {
+                if s > best_score + 1e-12 {
+                    best = idx;
+                    best_score = s;
+                }
+            }
+        }
+        let changed = best != self.current;
+        self.current = best;
+        changed
+    }
+
+    /// Ranks all hypotheses by their window score, descending (unsatisfiable
+    /// hypotheses last). Used as the HT *predictor* in the user-study
+    /// analysis (MRR over top-k).
+    pub fn ranked(&self, table: &Table) -> Vec<usize> {
+        let mut scored: Vec<(usize, f64)> = (0..self.space.len())
+            .map(|i| (i, self.score(table, i).unwrap_or(-1.0)))
+            .collect();
+        // Current hypothesis wins ties (stickiness).
+        scored.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then_with(|| (a.0 != self.current).cmp(&(b.0 != self.current)))
+                .then(a.0.cmp(&b.0))
+        });
+        scored.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::table::paper_table1;
+
+    fn space() -> Arc<HypothesisSpace> {
+        Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),    // Team -> City: 1 of 2 at-risk pairs satisfies
+            Fd::from_attrs([2, 3], 4), // City,Role -> Apps: satisfied
+            Fd::from_attrs([1], 4),    // Team -> Apps
+        ]))
+    }
+
+    fn clean(a: usize, b: usize) -> LabeledPair {
+        LabeledPair {
+            a,
+            b,
+            dirty_a: false,
+            dirty_b: false,
+        }
+    }
+
+    #[test]
+    fn keeps_hypothesis_above_tolerance() {
+        let t = paper_table1();
+        let mut ht = HypothesisTester::new(space(), 1, 0.6, ScoreMode::DataSatisfaction);
+        // (t2,t3) satisfies City,Role -> Apps.
+        let changed = ht.observe_interaction(&t, &[clean(1, 2)]);
+        assert!(!changed);
+        assert_eq!(ht.current_index(), 1);
+    }
+
+    #[test]
+    fn rejects_and_switches_to_best() {
+        let t = paper_table1();
+        // Start believing Team -> City; show it the violating Lakers pair
+        // plus evidence for City,Role -> Apps.
+        let mut ht = HypothesisTester::new(space(), 0, 0.6, ScoreMode::DataSatisfaction);
+        let changed = ht.observe_interaction(&t, &[clean(0, 1), clean(1, 2)]);
+        assert!(changed);
+        assert_eq!(ht.current_index(), 1, "switches to the satisfied FD");
+    }
+
+    #[test]
+    fn no_relevant_evidence_keeps_hypothesis() {
+        let t = paper_table1();
+        let mut ht = HypothesisTester::new(space(), 0, 0.9, ScoreMode::DataSatisfaction);
+        // (t1, t5): irrelevant to every FD in the space.
+        let changed = ht.observe_interaction(&t, &[clean(0, 4)]);
+        assert!(!changed);
+    }
+
+    #[test]
+    fn label_consistency_mode() {
+        let t = paper_table1();
+        let mut ht = HypothesisTester::new(space(), 0, 0.9, ScoreMode::LabelConsistency);
+        // The Lakers violation is labeled dirty: consistent with Team -> City.
+        let changed = ht.observe_interaction(
+            &t,
+            &[LabeledPair {
+                a: 0,
+                b: 1,
+                dirty_a: true,
+                dirty_b: true,
+            }],
+        );
+        assert!(!changed, "explained violation is consistent");
+        assert_eq!(ht.score(&t, 0), Some(1.0));
+        // The same pair labeled clean is inconsistent.
+        let changed = ht.observe_interaction(&t, &[clean(0, 1)]);
+        assert!(changed || ht.score(&t, 0) == Some(0.0));
+    }
+
+    #[test]
+    fn ranked_puts_best_first() {
+        let t = paper_table1();
+        let mut ht = HypothesisTester::new(space(), 2, 0.6, ScoreMode::DataSatisfaction);
+        let _ = ht.observe_interaction(&t, &[clean(0, 1), clean(1, 2), clean(2, 3)]);
+        let ranked = ht.ranked(&t);
+        assert_eq!(ranked.len(), 3);
+        // City,Role -> Apps has perfect satisfaction on the window.
+        assert_eq!(ranked[0], ht.current_index());
+    }
+
+    #[test]
+    fn window_is_replaced_not_accumulated() {
+        let t = paper_table1();
+        let mut ht = HypothesisTester::new(space(), 0, 0.6, ScoreMode::DataSatisfaction);
+        let _ = ht.observe_interaction(&t, &[clean(0, 1)]); // violation seen
+        let _ = ht.observe_interaction(&t, &[clean(2, 3)]); // Bulls satisfy
+                                                            // Window now only contains the satisfying pair.
+        assert_eq!(ht.score(&t, 0), Some(1.0));
+    }
+}

@@ -1,0 +1,182 @@
+//! Belief snapshots: dump and restore a belief as CSV text.
+//!
+//! Sessions can checkpoint agent state for later analysis (which FDs moved,
+//! when) without any serialization dependency.
+
+use std::sync::Arc;
+
+use et_fd::{Fd, HypothesisSpace};
+
+use crate::belief::Belief;
+use crate::beta::Beta;
+
+/// Serialises a belief as CSV: `fd,alpha,beta,mean`.
+///
+/// The FD is rendered in an index form with `+`-joined determinants
+/// (`0+2->3`) so the field is comma-free and schema-independent.
+pub fn to_csv(belief: &Belief) -> String {
+    let mut out = String::from("fd,alpha,beta,mean\n");
+    for (i, fd) in belief.space().iter() {
+        let d = belief.dist(i);
+        let lhs: Vec<String> = fd.lhs.iter().map(|a| a.to_string()).collect();
+        out.push_str(&format!(
+            "{}->{},{},{},{}\n",
+            lhs.join("+"),
+            fd.rhs,
+            d.alpha,
+            d.beta,
+            d.mean()
+        ));
+    }
+    out
+}
+
+/// Errors raised by [`from_csv`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BeliefParseError {
+    /// Missing or malformed header.
+    Header,
+    /// A record was malformed.
+    Record {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BeliefParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BeliefParseError::Header => write!(f, "missing belief CSV header"),
+            BeliefParseError::Record { line, reason } => {
+                write!(f, "line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BeliefParseError {}
+
+/// Restores a belief from [`to_csv`] output. The hypothesis space is
+/// reconstructed from the FD column (order preserved).
+pub fn from_csv(text: &str) -> Result<Belief, BeliefParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(BeliefParseError::Header)?;
+    if header.trim() != "fd,alpha,beta,mean" {
+        return Err(BeliefParseError::Header);
+    }
+    let mut fds = Vec::new();
+    let mut params = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 4 {
+            return Err(BeliefParseError::Record {
+                line: line_no,
+                reason: format!("expected 4 fields, got {}", parts.len()),
+            });
+        }
+        let fd = parse_fd(parts[0]).ok_or_else(|| BeliefParseError::Record {
+            line: line_no,
+            reason: format!("bad FD `{}`", parts[0]),
+        })?;
+        let alpha: f64 = parts[1].parse().map_err(|e| BeliefParseError::Record {
+            line: line_no,
+            reason: format!("alpha: {e}"),
+        })?;
+        let beta: f64 = parts[2].parse().map_err(|e| BeliefParseError::Record {
+            line: line_no,
+            reason: format!("beta: {e}"),
+        })?;
+        if alpha <= 0.0 || beta <= 0.0 {
+            return Err(BeliefParseError::Record {
+                line: line_no,
+                reason: "non-positive Beta parameters".into(),
+            });
+        }
+        fds.push(fd);
+        params.push(Beta::new(alpha, beta));
+    }
+    if fds.is_empty() {
+        return Err(BeliefParseError::Header);
+    }
+    let space = Arc::new(HypothesisSpace::from_fds(fds));
+    Ok(Belief::new(space, params))
+}
+
+/// Parses the `0+2->3` rendering used by [`to_csv`].
+fn parse_fd(text: &str) -> Option<Fd> {
+    let (lhs, rhs) = text.split_once("->")?;
+    let attrs: Option<Vec<u16>> = lhs
+        .trim()
+        .split('+')
+        .map(|a| a.trim().parse::<u16>().ok())
+        .collect();
+    let rhs: u16 = rhs.trim().parse().ok()?;
+    let attrs = attrs?;
+    if attrs.is_empty() {
+        return None;
+    }
+    Some(Fd::from_attrs(attrs, rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_belief() -> Belief {
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([0], 1),
+            Fd::from_attrs([0, 2], 3),
+        ]));
+        Belief::new(space, vec![Beta::new(3.5, 1.5), Beta::new(10.0, 40.0)])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = sample_belief();
+        let csv = to_csv(&b);
+        let b2 = from_csv(&csv).unwrap();
+        assert_eq!(b2.len(), b.len());
+        for i in 0..b.len() {
+            assert_eq!(b2.space().fd(i), b.space().fd(i));
+            assert!((b2.dist(i).alpha - b.dist(i).alpha).abs() < 1e-12);
+            assert!((b2.dist(i).beta - b.dist(i).beta).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert_eq!(from_csv("nope\n").unwrap_err(), BeliefParseError::Header);
+        assert_eq!(from_csv("").unwrap_err(), BeliefParseError::Header);
+    }
+
+    #[test]
+    fn rejects_bad_records() {
+        let bad = "fd,alpha,beta,mean\n0->1,x,2,0.5\n";
+        assert!(matches!(
+            from_csv(bad).unwrap_err(),
+            BeliefParseError::Record { line: 2, .. }
+        ));
+        let neg = "fd,alpha,beta,mean\n0->1,-1,2,0.5\n";
+        assert!(matches!(
+            from_csv(neg).unwrap_err(),
+            BeliefParseError::Record { .. }
+        ));
+        let short = "fd,alpha,beta,mean\n0->1,1\n";
+        assert!(from_csv(short).is_err());
+    }
+
+    #[test]
+    fn parse_fd_forms() {
+        assert_eq!(parse_fd("0->1"), Some(Fd::from_attrs([0], 1)));
+        assert_eq!(parse_fd("0+2->3"), Some(Fd::from_attrs([0, 2], 3)));
+        assert_eq!(parse_fd(" 0 + 2 -> 3 "), Some(Fd::from_attrs([0, 2], 3)));
+        assert_eq!(parse_fd("junk"), None);
+        assert_eq!(parse_fd("->1"), None);
+    }
+}

@@ -1,0 +1,347 @@
+//! The fictitious-play / Bayesian evidence rule.
+//!
+//! Both agents update their belief from the same interaction record — the
+//! presented pairs plus the (trainer's) clean/dirty labels — with the rule:
+//!
+//! * pair **satisfies** FD, both tuples labeled clean → the FD held on
+//!   clean data: `α += clean_weight`;
+//! * pair **violates** FD, both tuples labeled clean → a genuine exception
+//!   among clean data: `β += clean_weight`;
+//! * pair **violates** FD, some tuple labeled dirty → the violation is
+//!   *explained away* by the error: weak support `α += explained_weight`;
+//! * pair **satisfies** FD but carries a dirty label → ambiguous, no update;
+//! * pair **irrelevant** to the FD → no update.
+//!
+//! This is fictitious play in the sense of the paper §3: the belief's
+//! confidence for an FD converges to the empirical frequency with which the
+//! FD is consistent with the labeled evidence. The trainer applies the rule
+//! with its *own* labels (it updates, then labels, per §C.1 "Interactions"),
+//! the learner with the labels it *receives* — so a learner sampling
+//! informative pairs closes the belief gap faster, which is exactly what
+//! Figures 1 and 3–6 measure.
+
+use et_data::Table;
+use et_fd::{PairRelation, SpaceRelations};
+
+use crate::belief::Belief;
+
+/// Weights of the evidence rule.
+#[derive(Debug, Clone, Copy)]
+pub struct EvidenceConfig {
+    /// Evidence carried by a clean-clean pair (default 1.0).
+    pub clean_weight: f64,
+    /// Support carried by a violating pair explained by a dirty label
+    /// (default 0.25 — weaker, since the error also breaks other FDs).
+    pub explained_weight: f64,
+}
+
+impl Default for EvidenceConfig {
+    fn default() -> Self {
+        Self {
+            clean_weight: 1.0,
+            explained_weight: 0.05,
+        }
+    }
+}
+
+/// A presented pair with the trainer's labels (`true` = dirty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// First row id.
+    pub a: usize,
+    /// Second row id.
+    pub b: usize,
+    /// Label of `a` (`true` = dirty).
+    pub dirty_a: bool,
+    /// Label of `b` (`true` = dirty).
+    pub dirty_b: bool,
+}
+
+impl LabeledPair {
+    /// True when either tuple is labeled dirty.
+    pub fn any_dirty(&self) -> bool {
+        self.dirty_a || self.dirty_b
+    }
+}
+
+/// Applies the evidence rule for one labeled pair to every FD of the
+/// belief's hypothesis space.
+pub fn update_from_labeled_pair(
+    belief: &mut Belief,
+    table: &Table,
+    pair: &LabeledPair,
+    cfg: &EvidenceConfig,
+) {
+    let rel = SpaceRelations::new(belief.space());
+    apply_labeled(belief, &rel, table, pair, cfg);
+}
+
+/// Applies [`update_from_labeled_pair`] for a whole interaction, sharing
+/// the per-FD relation scratch across pairs.
+pub fn update_from_labeled_pairs(
+    belief: &mut Belief,
+    table: &Table,
+    pairs: &[LabeledPair],
+    cfg: &EvidenceConfig,
+) {
+    let rel = SpaceRelations::new(belief.space());
+    for p in pairs {
+        apply_labeled(belief, &rel, table, p, cfg);
+    }
+}
+
+fn apply_labeled(
+    belief: &mut Belief,
+    rel: &SpaceRelations,
+    table: &Table,
+    pair: &LabeledPair,
+    cfg: &EvidenceConfig,
+) {
+    for fi in 0..rel.len() {
+        match rel.relation(table, fi, pair.a, pair.b) {
+            PairRelation::Irrelevant => {}
+            PairRelation::Satisfies => {
+                if !pair.any_dirty() {
+                    belief.observe(fi, cfg.clean_weight, 0.0);
+                }
+            }
+            PairRelation::Violates => {
+                if pair.any_dirty() {
+                    belief.observe(fi, cfg.explained_weight, 0.0);
+                } else {
+                    belief.observe(fi, 0.0, cfg.clean_weight);
+                }
+            }
+        }
+    }
+}
+
+/// Label-free fictitious-play update from raw pair relations: every observed
+/// at-risk pair counts `weight` toward an FD's satisfaction (`α`) or
+/// violation (`β`) tally.
+///
+/// This is the *trainer-side* update: an annotator inspecting presented
+/// samples estimates, per FD, "how often does this FD hold on the data I
+/// have seen?" — exactly the user study's "FD that holds with the fewest
+/// exceptions" judgment. (The learner cannot use it to track the trainer's
+/// belief directly; it learns from the labels via
+/// [`update_from_labeled_pair`].)
+pub fn update_from_pair_relations(
+    belief: &mut Belief,
+    table: &Table,
+    pairs: &[(usize, usize)],
+    weight: f64,
+) {
+    assert!(weight >= 0.0, "evidence weight must be non-negative");
+    let rel = SpaceRelations::new(belief.space());
+    for &(a, b) in pairs {
+        for fi in 0..rel.len() {
+            match rel.relation(table, fi, a, b) {
+                PairRelation::Irrelevant => {}
+                PairRelation::Satisfies => belief.observe(fi, weight, 0.0),
+                PairRelation::Violates => belief.observe(fi, 0.0, weight),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beta::Beta;
+    use et_data::table::paper_table1;
+    use et_fd::{Fd, HypothesisSpace};
+    use std::sync::Arc;
+
+    fn setup() -> (Belief, Table) {
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),    // Team -> City (violated by (t1,t2))
+            Fd::from_attrs([2, 3], 4), // City,Role -> Apps (satisfied by (t2,t3))
+        ]));
+        (Belief::constant(space, Beta::new(2.0, 2.0)), paper_table1())
+    }
+
+    #[test]
+    fn clean_satisfying_pair_supports() {
+        let (mut b, t) = setup();
+        let before = b.confidence(1);
+        update_from_labeled_pair(
+            &mut b,
+            &t,
+            &LabeledPair {
+                a: 1,
+                b: 2,
+                dirty_a: false,
+                dirty_b: false,
+            },
+            &EvidenceConfig::default(),
+        );
+        assert!(b.confidence(1) > before, "satisfying clean pair supports");
+    }
+
+    #[test]
+    fn clean_violating_pair_contradicts() {
+        let (mut b, t) = setup();
+        let before = b.confidence(0);
+        update_from_labeled_pair(
+            &mut b,
+            &t,
+            &LabeledPair {
+                a: 0,
+                b: 1,
+                dirty_a: false,
+                dirty_b: false,
+            },
+            &EvidenceConfig::default(),
+        );
+        assert!(
+            b.confidence(0) < before,
+            "unexplained violation contradicts"
+        );
+    }
+
+    #[test]
+    fn explained_violation_weakly_supports() {
+        let (mut b, t) = setup();
+        let before = b.confidence(0);
+        update_from_labeled_pair(
+            &mut b,
+            &t,
+            &LabeledPair {
+                a: 0,
+                b: 1,
+                dirty_a: true,
+                dirty_b: false,
+            },
+            &EvidenceConfig::default(),
+        );
+        let after = b.confidence(0);
+        assert!(after > before, "explained violation supports");
+        // ... but weakly: less than a full clean observation would.
+        let (mut strong, t2) = setup();
+        update_from_labeled_pair(
+            &mut strong,
+            &t2,
+            &LabeledPair {
+                a: 2,
+                b: 3,
+                dirty_a: false,
+                dirty_b: false,
+            },
+            &EvidenceConfig::default(),
+        );
+        // fd0 relation for (t3,t4) is Violates? No: Bulls share City -> satisfies.
+        assert!(strong.confidence(0) - before > after - before);
+    }
+
+    #[test]
+    fn irrelevant_pair_is_noop() {
+        let (mut b, t) = setup();
+        let before = b.confidences();
+        // t1 (Lakers) vs t5 (Clippers): different Team and different
+        // (City, Role) -> irrelevant to both FDs.
+        update_from_labeled_pair(
+            &mut b,
+            &t,
+            &LabeledPair {
+                a: 0,
+                b: 4,
+                dirty_a: false,
+                dirty_b: true,
+            },
+            &EvidenceConfig::default(),
+        );
+        assert_eq!(b.confidences(), before);
+    }
+
+    #[test]
+    fn dirty_satisfying_pair_is_noop() {
+        let (mut b, t) = setup();
+        let before = b.confidences();
+        // (t3, t4): Bulls share City (satisfies fd0); dirty label -> skip.
+        update_from_labeled_pair(
+            &mut b,
+            &t,
+            &LabeledPair {
+                a: 2,
+                b: 3,
+                dirty_a: true,
+                dirty_b: false,
+            },
+            &EvidenceConfig::default(),
+        );
+        assert_eq!(b.confidences(), before);
+    }
+
+    #[test]
+    fn relation_update_estimates_satisfaction_rate() {
+        let (_, t) = setup();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),    // Team -> City: 1 of 2 at-risk pairs violates
+            Fd::from_attrs([2, 3], 4), // City,Role -> Apps: its 1 pair satisfies
+        ]));
+        let mut b = Belief::constant(space, Beta::new(1.0, 1.0));
+        let pairs: Vec<(usize, usize)> = vec![(0, 1), (2, 3), (1, 2)];
+        for _ in 0..100 {
+            update_from_pair_relations(&mut b, &t, &pairs, 1.0);
+        }
+        // Team -> City: one satisfying, one violating pair -> c -> 0.5.
+        assert!((b.confidence(0) - 0.5).abs() < 0.05, "{}", b.confidence(0));
+        // City,Role -> Apps: only satisfying evidence -> c -> 1.
+        assert!(b.confidence(1) > 0.95);
+    }
+
+    #[test]
+    fn relation_update_ignores_irrelevant_pairs() {
+        let (_, t) = setup();
+        let space = Arc::new(HypothesisSpace::from_fds([Fd::from_attrs([1], 2)]));
+        let mut b = Belief::constant(space, Beta::new(3.0, 3.0));
+        let before = b.confidences();
+        update_from_pair_relations(&mut b, &t, &[(0, 4)], 1.0);
+        assert_eq!(b.confidences(), before);
+    }
+
+    #[test]
+    fn identical_evidence_streams_converge() {
+        // Two agents with different priors processing the same labeled
+        // pairs approach each other — the mechanism behind MAE convergence.
+        let (_, t) = setup();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let mut trainer = Belief::constant(space.clone(), Beta::new(8.0, 2.0));
+        let mut learner = Belief::constant(space, Beta::new(2.0, 8.0));
+        let initial = trainer.mae(&learner);
+        let pairs = [
+            LabeledPair {
+                a: 0,
+                b: 1,
+                dirty_a: true,
+                dirty_b: false,
+            },
+            LabeledPair {
+                a: 2,
+                b: 3,
+                dirty_a: false,
+                dirty_b: false,
+            },
+            LabeledPair {
+                a: 1,
+                b: 2,
+                dirty_a: false,
+                dirty_b: false,
+            },
+        ];
+        let cfg = EvidenceConfig::default();
+        for _ in 0..50 {
+            update_from_labeled_pairs(&mut trainer, &t, &pairs, &cfg);
+            update_from_labeled_pairs(&mut learner, &t, &pairs, &cfg);
+        }
+        let final_mae = trainer.mae(&learner);
+        assert!(
+            final_mae < initial * 0.2,
+            "MAE should shrink: {initial} -> {final_mae}"
+        );
+    }
+}

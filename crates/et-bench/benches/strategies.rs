@@ -1,0 +1,59 @@
+//! Per-strategy selection cost over growing candidate pools.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use et_belief::{build_prior, PriorConfig, PriorSpec};
+use et_bench::fixtures::fixture;
+use et_core::{CandidatePool, ResponseStrategy, StrategyKind};
+use et_data::gen::DatasetName;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_selection(c: &mut Criterion) {
+    let f = fixture(DatasetName::Omdb, 400, 0.1, 1);
+    let index = et_fd::ViolationIndex::build(&f.table, &f.space);
+    let belief = build_prior(
+        &PriorSpec::DataEstimate,
+        &PriorConfig::default(),
+        &f.space,
+        &f.table,
+    );
+    let mut group = c.benchmark_group("select_5_pairs");
+    for pool_cap in [200usize, 1000, 4000] {
+        let pool = CandidatePool::build(&f.table, &f.space, pool_cap, 3);
+        let candidates = pool.pairs().to_vec();
+        for kind in StrategyKind::PAPER_METHODS {
+            let strategy = ResponseStrategy::paper(kind);
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), pool_cap),
+                &pool_cap,
+                |b, _| {
+                    b.iter_batched(
+                        || StdRng::seed_from_u64(9),
+                        |mut rng| {
+                            strategy.select(
+                                black_box(&f.table),
+                                Some(&index),
+                                black_box(&belief),
+                                black_box(&candidates),
+                                5,
+                                &mut rng,
+                            )
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_pool_build(c: &mut Criterion) {
+    let f = fixture(DatasetName::Hospital, 400, 0.15, 2);
+    c.bench_function("pool_build_hospital_4000", |b| {
+        b.iter(|| CandidatePool::build(black_box(&f.table), black_box(&f.space), 4000, 3))
+    });
+}
+
+criterion_group!(benches, bench_selection, bench_pool_build);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Criterion micro-benchmarks of the substrate hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use et_belief::{update_from_pair_relations, Belief, Beta};
+use et_bench::fixtures::fixture;
+use et_data::gen::DatasetName;
+use et_data::{inject_errors, InjectConfig};
+use et_fd::{discovery, g1_of, Fd, ViolationIndex};
+use std::sync::Arc;
+
+fn bench_g1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("g1");
+    for rows in [200usize, 500, 1000] {
+        let f = fixture(DatasetName::Omdb, rows, 0.1, 1);
+        let fd = f.space.fd(0);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| g1_of(black_box(&f.table), black_box(&fd)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_violation_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_index");
+    for rows in [200usize, 500] {
+        let f = fixture(DatasetName::Hospital, rows, 0.15, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, _| {
+            b.iter(|| ViolationIndex::build(black_box(&f.table), black_box(&f.space)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_belief_update(c: &mut Criterion) {
+    let f = fixture(DatasetName::Omdb, 300, 0.1, 3);
+    let pairs: Vec<(usize, usize)> = (0..50).map(|i| (i, i + 50)).collect();
+    c.bench_function("belief_update_50_pairs", |b| {
+        b.iter_batched(
+            || Belief::constant(f.space.clone(), Beta::new(2.0, 2.0)),
+            |mut belief| update_from_pair_relations(&mut belief, &f.table, black_box(&pairs), 1.0),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inject");
+    for degree in [0.05f64, 0.20] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("deg{degree}")),
+            &degree,
+            |b, &degree| {
+                b.iter_batched(
+                    || DatasetName::Omdb.generate(300, 7),
+                    |mut ds| {
+                        let specs = ds.exact_fds.clone();
+                        inject_errors(
+                            &mut ds.table,
+                            &specs,
+                            &[],
+                            &InjectConfig::with_degree(degree, 9),
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_partitions(c: &mut Criterion) {
+    let f = fixture(DatasetName::Hospital, 500, 0.1, 7);
+    c.bench_function("stripped_partition_product", |b| {
+        let p1 = et_fd::StrippedPartition::of_attr(&f.table, 0);
+        let p2 = et_fd::StrippedPartition::of_attr(&f.table, 9);
+        b.iter(|| black_box(&p1).product(black_box(&p2)))
+    });
+    c.bench_function("tane_lhs2_hospital", |b| {
+        b.iter(|| et_fd::discover_tane(black_box(&f.table), 2, 0.05))
+    });
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let f = fixture(DatasetName::Airport, 300, 0.1, 5);
+    c.bench_function("discovery_lhs2", |b| {
+        b.iter(|| {
+            discovery::discover(
+                black_box(&f.table),
+                &discovery::DiscoveryConfig {
+                    max_lhs: 2,
+                    max_violation_rate: 0.15,
+                    min_support: 3,
+                },
+            )
+        })
+    });
+}
+
+fn bench_space_capping(c: &mut Criterion) {
+    let ds = DatasetName::Tax.generate(300, 11);
+    let pinned: Vec<Fd> = ds.exact_fds.iter().map(Fd::from_spec).collect();
+    c.bench_function("space_capped_tax_38", |b| {
+        b.iter(|| {
+            Arc::new(et_fd::HypothesisSpace::capped(
+                black_box(&ds.table),
+                3,
+                38,
+                3,
+                &pinned,
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_g1,
+    bench_violation_index,
+    bench_belief_update,
+    bench_injection,
+    bench_partitions,
+    bench_discovery,
+    bench_space_capping
+);
+criterion_main!(benches);

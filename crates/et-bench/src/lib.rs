@@ -1,0 +1,74 @@
+//! Benchmark harness crate.
+//!
+//! * `src/bin/repro.rs` — the reproduction driver: regenerates every table
+//!   and figure of the paper from the [`et_experiments`] registry
+//!   (`repro --list`, `repro --exp fig1`, `repro --all`), writing reports to
+//!   stdout and CSV artifacts to `results/`.
+//! * `benches/substrate.rs` — criterion micro-benchmarks of the substrate
+//!   hot paths (g1, violation indexing, belief updates, error injection,
+//!   FD discovery).
+//! * `benches/strategies.rs` — per-strategy selection cost over growing
+//!   candidate pools.
+//! * `benches/figures.rs` — end-to-end session cost for each figure's
+//!   configuration (one bench per paper artifact family).
+
+#![warn(missing_docs)]
+
+/// Shared fixture sizes so benches stay comparable.
+pub mod fixtures {
+    use std::sync::Arc;
+
+    use et_data::gen::DatasetName;
+    use et_data::{inject_errors, InjectConfig, Table};
+    use et_fd::{Fd, HypothesisSpace};
+
+    /// A dirty dataset plus its capped hypothesis space, as the experiments
+    /// use it.
+    pub struct Fixture {
+        /// The dirty table.
+        pub table: Table,
+        /// Ground-truth dirty rows.
+        pub dirty_rows: Vec<bool>,
+        /// The capped hypothesis space (paper: 38 FDs).
+        pub space: Arc<HypothesisSpace>,
+    }
+
+    /// Builds the standard benchmark fixture.
+    pub fn fixture(dataset: DatasetName, rows: usize, degree: f64, seed: u64) -> Fixture {
+        let mut ds = dataset.generate(rows, seed);
+        let specs = ds.exact_fds.clone();
+        let inj = inject_errors(
+            &mut ds.table,
+            &specs,
+            &[],
+            &InjectConfig::with_degree(degree, seed ^ 0xBE),
+        );
+        let pinned: Vec<Fd> = specs.iter().map(Fd::from_spec).collect();
+        let space = Arc::new(HypothesisSpace::capped(
+            &ds.table,
+            3,
+            38,
+            (rows as u64 / 12).max(5),
+            &pinned,
+        ));
+        Fixture {
+            table: ds.table,
+            dirty_rows: inj.dirty_rows,
+            space,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fixtures::fixture;
+    use et_data::gen::DatasetName;
+
+    #[test]
+    fn fixture_builds() {
+        let f = fixture(DatasetName::Omdb, 120, 0.1, 1);
+        assert_eq!(f.table.nrows(), 120);
+        assert_eq!(f.dirty_rows.len(), 120);
+        assert!(f.space.len() <= 38);
+    }
+}

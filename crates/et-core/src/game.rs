@@ -1,0 +1,143 @@
+//! Game primitives: examples, labels, interactions, histories.
+
+use et_belief::LabeledPair;
+
+/// A clean/dirty label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// The annotator considers the tuple clean.
+    Clean,
+    /// The annotator considers the tuple erroneous.
+    Dirty,
+}
+
+impl Label {
+    /// `true` when dirty.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, Label::Dirty)
+    }
+
+    /// From a dirty flag.
+    pub fn from_dirty(dirty: bool) -> Self {
+        if dirty {
+            Label::Dirty
+        } else {
+            Label::Clean
+        }
+    }
+}
+
+/// An example presented to the trainer: a pair of tuples (FD violations are
+/// defined over pairs; §C.1 modifies all sampling methods to select pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PairExample {
+    /// Lower row id.
+    pub a: usize,
+    /// Higher row id.
+    pub b: usize,
+}
+
+impl PairExample {
+    /// Builds a normalized pair (`a < b`).
+    ///
+    /// # Panics
+    /// Panics when `a == b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert_ne!(a, b, "a pair needs two distinct tuples");
+        Self {
+            a: a.min(b),
+            b: a.max(b),
+        }
+    }
+}
+
+/// One completed interaction: what the learner selected, and the labeled
+/// evidence the trainer's per-tuple verdicts induce over the whole sample.
+#[derive(Debug, Clone)]
+pub struct Interaction {
+    /// Interaction number `t` (0-based).
+    pub t: usize,
+    /// The pairs the learner's policy selected (always fresh).
+    pub selected: Vec<PairExample>,
+    /// The presented sample: the distinct tuples of the selected pairs.
+    pub sample: Vec<usize>,
+    /// The trainer's per-tuple labels, aligned with `sample`
+    /// (`true` = dirty).
+    pub labels: Vec<bool>,
+    /// Every within-sample pair relevant to some hypothesis-space FD, with
+    /// the trainer's labels.
+    pub labeled: Vec<LabeledPair>,
+}
+
+impl Interaction {
+    /// The labeled evidence pairs as [`PairExample`]s.
+    pub fn pairs(&self) -> impl Iterator<Item = PairExample> + '_ {
+        self.labeled.iter().map(|l| PairExample::new(l.a, l.b))
+    }
+
+    /// Number of tuples shown (2 per pair).
+    pub fn tuples_shown(&self) -> usize {
+        self.labeled.len() * 2
+    }
+
+    /// Number of dirty labels given.
+    pub fn dirty_labels(&self) -> usize {
+        self.labeled
+            .iter()
+            .map(|l| usize::from(l.dirty_a) + usize::from(l.dirty_b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_conversions() {
+        assert!(Label::Dirty.is_dirty());
+        assert!(!Label::Clean.is_dirty());
+        assert_eq!(Label::from_dirty(true), Label::Dirty);
+        assert_eq!(Label::from_dirty(false), Label::Clean);
+    }
+
+    #[test]
+    fn pair_normalizes() {
+        let p = PairExample::new(7, 3);
+        assert_eq!((p.a, p.b), (3, 7));
+        assert_eq!(p, PairExample::new(3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn degenerate_pair_rejected() {
+        let _ = PairExample::new(4, 4);
+    }
+
+    #[test]
+    fn interaction_counts() {
+        let i = Interaction {
+            t: 0,
+            selected: vec![PairExample::new(0, 1)],
+            sample: vec![0, 1, 2, 3],
+            labels: vec![true, false, false, false],
+            labeled: vec![
+                LabeledPair {
+                    a: 0,
+                    b: 1,
+                    dirty_a: true,
+                    dirty_b: false,
+                },
+                LabeledPair {
+                    a: 2,
+                    b: 3,
+                    dirty_a: false,
+                    dirty_b: false,
+                },
+            ],
+        };
+        assert_eq!(i.tuples_shown(), 4);
+        assert_eq!(i.dirty_labels(), 1);
+        assert_eq!(i.pairs().count(), 2);
+    }
+}

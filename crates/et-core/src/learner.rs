@@ -1,0 +1,285 @@
+//! The active learner agent.
+//!
+//! The learner owns a belief over the hypothesis space, a prediction model
+//! (the FP/Bayesian evidence rule of [`et_belief::update`]) and a response
+//! strategy ([`crate::respond`]). Each interaction it selects fresh pairs,
+//! hands them to the trainer, and absorbs the returned labels.
+
+use std::collections::HashSet;
+
+use et_belief::{update_from_labeled_pairs, Belief, EvidenceConfig, LabeledPair};
+use et_data::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::candidates::CandidatePool;
+use crate::game::PairExample;
+use crate::respond::ResponseStrategy;
+
+/// How much of an interaction the learner's prediction model consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceScope {
+    /// Only the k selected examples and their labels — the paper's
+    /// `P^L(θ, X^t, Y^t)` with `X^t` the chosen pairs. Selection quality
+    /// fully determines what the learner can learn (default).
+    SelectedPairs,
+    /// Every within-sample pair, labeled by the trainer's per-tuple
+    /// verdicts (the annotator's whole screen as evidence).
+    SampleWide,
+    /// `SampleWide` plus pairs between new tuples and the labeled memory.
+    SampleWideWithMemory,
+}
+
+/// The learner agent.
+#[derive(Debug, Clone)]
+pub struct Learner {
+    belief: Belief,
+    strategy: ResponseStrategy,
+    evidence: EvidenceConfig,
+    shown: HashSet<PairExample>,
+    /// Labeled tuples in first-seen order.
+    memory: Vec<usize>,
+    /// Latest label per labeled tuple (`true` = dirty). Labels can be
+    /// *revised* when the trainer re-encounters a tuple — but evidence pairs
+    /// already consumed are not re-litigated, which is exactly how stale
+    /// early labels poison a learner (the paper's motivation).
+    labels: std::collections::HashMap<usize, bool>,
+    scope: EvidenceScope,
+    rng: StdRng,
+}
+
+impl Learner {
+    /// Builds a learner from its prior belief and response strategy.
+    pub fn new(
+        prior: Belief,
+        strategy: ResponseStrategy,
+        evidence: EvidenceConfig,
+        seed: u64,
+    ) -> Self {
+        Self {
+            belief: prior,
+            strategy,
+            evidence,
+            shown: HashSet::new(),
+            memory: Vec::new(),
+            labels: std::collections::HashMap::new(),
+            scope: EvidenceScope::SelectedPairs,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// Overrides how much of each interaction feeds the prediction model
+    /// (ablation axis; the default is the paper's selected-pairs protocol).
+    #[must_use]
+    pub fn with_evidence_scope(mut self, scope: EvidenceScope) -> Self {
+        self.scope = scope;
+        self
+    }
+
+    /// The configured evidence scope.
+    pub fn evidence_scope(&self) -> EvidenceScope {
+        self.scope
+    }
+
+    /// The evolving belief.
+    pub fn belief(&self) -> &Belief {
+        &self.belief
+    }
+
+    /// Current per-FD confidences.
+    pub fn confidences(&self) -> Vec<f64> {
+        self.belief.confidences()
+    }
+
+    /// The configured response strategy.
+    pub fn strategy(&self) -> ResponseStrategy {
+        self.strategy
+    }
+
+    /// Pairs presented so far.
+    pub fn shown(&self) -> &HashSet<PairExample> {
+        &self.shown
+    }
+
+    /// Selects up to `k` fresh pairs from the pool according to the
+    /// response strategy (`π_t^L = R^L(θ_t^L)`) and records them as shown.
+    ///
+    /// Returns an empty vector when the pool is exhausted.
+    pub fn select(
+        &mut self,
+        table: &Table,
+        index: Option<&et_fd::ViolationIndex>,
+        pool: &CandidatePool,
+        k: usize,
+    ) -> Vec<PairExample> {
+        let fresh = pool.fresh(&self.shown);
+        let picked = self
+            .strategy
+            .select(table, index, &self.belief, &fresh, k, &mut self.rng);
+        self.shown.extend(picked.iter().copied());
+        picked
+    }
+
+    /// The learner's current policy distribution over the fresh candidates
+    /// (for payoff/entropy accounting).
+    pub fn policy_over_fresh(
+        &self,
+        table: &Table,
+        index: Option<&et_fd::ViolationIndex>,
+        pool: &CandidatePool,
+        k: usize,
+    ) -> (Vec<PairExample>, Vec<f64>) {
+        let fresh = pool.fresh(&self.shown);
+        let dist = self
+            .strategy
+            .policy_distribution(table, index, &self.belief, &fresh, k);
+        (fresh, dist)
+    }
+
+    /// Absorbs one interaction: the selected pairs, the presented sample,
+    /// and the trainer's per-tuple labels
+    /// (`θ_t^L = P^L(θ_{t-1}^L, X^t, Y^t)`).
+    ///
+    /// The configured [`EvidenceScope`] decides how much of it feeds the
+    /// belief update.
+    ///
+    /// # Panics
+    /// Panics when `labels.len() != sample.len()`.
+    pub fn absorb_interaction(
+        &mut self,
+        table: &Table,
+        selected: &[PairExample],
+        sample: &[usize],
+        labels: &[bool],
+    ) {
+        assert_eq!(sample.len(), labels.len(), "one label per sample tuple");
+        let new: Vec<usize> = sample
+            .iter()
+            .copied()
+            .filter(|r| !self.labels.contains_key(r))
+            .collect();
+        // Record/refresh labels first so this interaction's evidence uses
+        // the current verdicts.
+        for (&r, &l) in sample.iter().zip(labels) {
+            self.labels.insert(r, l);
+        }
+        let mut evidence: Vec<LabeledPair> = Vec::new();
+        match self.scope {
+            EvidenceScope::SelectedPairs => {
+                for p in selected {
+                    evidence.push(self.labeled_pair(p.a, p.b));
+                }
+            }
+            EvidenceScope::SampleWide | EvidenceScope::SampleWideWithMemory => {
+                for (i, &a) in sample.iter().enumerate() {
+                    for &b in &sample[i + 1..] {
+                        if a != b {
+                            evidence.push(self.labeled_pair(a, b));
+                        }
+                    }
+                }
+                if self.scope == EvidenceScope::SampleWideWithMemory {
+                    for &a in &new {
+                        for &b in &self.memory {
+                            evidence.push(self.labeled_pair(a, b));
+                        }
+                    }
+                }
+            }
+        }
+        update_from_labeled_pairs(&mut self.belief, table, &evidence, &self.evidence);
+        self.memory.extend(new);
+    }
+
+    /// Direct pair-level absorption (tests, custom protocols); does not
+    /// touch the tuple-label memory.
+    pub fn absorb(&mut self, table: &Table, labeled: &[LabeledPair]) {
+        update_from_labeled_pairs(&mut self.belief, table, labeled, &self.evidence);
+    }
+
+    /// Number of labeled tuples remembered.
+    pub fn tuples_labeled(&self) -> usize {
+        self.memory.len()
+    }
+
+    fn labeled_pair(&self, a: usize, b: usize) -> LabeledPair {
+        LabeledPair {
+            a,
+            b,
+            dirty_a: self.labels[&a],
+            dirty_b: self.labels[&b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::respond::StrategyKind;
+    use et_belief::Beta;
+    use et_data::table::paper_table1;
+    use et_fd::{Fd, HypothesisSpace};
+    use std::sync::Arc;
+
+    fn setup() -> (Table, Learner, CandidatePool) {
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let belief = Belief::constant(space.clone(), Beta::new(2.0, 2.0));
+        let learner = Learner::new(
+            belief,
+            ResponseStrategy::paper(StrategyKind::Random),
+            EvidenceConfig::default(),
+            1,
+        );
+        let pool = CandidatePool::build(&t, &space, 100, 1);
+        (t, learner, pool)
+    }
+
+    use et_data::Table;
+
+    #[test]
+    fn never_repeats_pairs() {
+        let (t, mut learner, pool) = setup();
+        let mut seen = HashSet::new();
+        loop {
+            let picked = learner.select(&t, None, &pool, 1);
+            if picked.is_empty() {
+                break;
+            }
+            for p in picked {
+                assert!(seen.insert(p), "pair {p:?} repeated");
+            }
+        }
+        assert_eq!(seen.len(), pool.len(), "eventually shows every pair");
+    }
+
+    #[test]
+    fn absorb_moves_belief() {
+        let (t, mut learner, _) = setup();
+        let before = learner.confidences();
+        learner.absorb(
+            &t,
+            &[LabeledPair {
+                a: 2,
+                b: 3,
+                dirty_a: false,
+                dirty_b: false,
+            }],
+        );
+        let after = learner.confidences();
+        assert!(after[0] > before[0], "clean satisfying pair supports fd0");
+        assert_eq!(after[1], before[1], "irrelevant to fd1");
+    }
+
+    #[test]
+    fn policy_over_fresh_respects_shown() {
+        let (t, mut learner, pool) = setup();
+        let _ = learner.select(&t, None, &pool, 1);
+        let (fresh, dist) = learner.policy_over_fresh(&t, None, &pool, 2);
+        assert_eq!(fresh.len(), pool.len() - 1);
+        assert_eq!(dist.len(), fresh.len());
+    }
+}

@@ -1,0 +1,56 @@
+//! The exploratory-training game (the paper's core contribution).
+//!
+//! Exploratory training models interactive labeling as a two-player game of
+//! identical interest between a **trainer** (the human annotator, who
+//! *learns about the data while labeling*) and a **learner** (the active-
+//! learning system). Each interaction `t`:
+//!
+//! 1. the learner's *response model* selects `k` examples — pairs of tuples
+//!    (§C.1) — according to its policy `π_t^L = R^L(θ_t^L)`;
+//! 2. the trainer observes the examples, updates its belief
+//!    `θ_t^T = P^T(θ_{t-1}^T, X^1..X^t)`, and labels them with its policy
+//!    `π_t^T = R^T(θ_t^T)`;
+//! 3. the learner consumes the labels and updates its belief
+//!    `θ_t^L = P^L(θ_{t-1}^L, X^t, Y^t)`.
+//!
+//! Modules:
+//!
+//! * [`game`] — interaction records, histories, labels.
+//! * [`payoff`] — the payoff functions `u_T`, `u_a` and the entropy-
+//!   regularised learner payoff `u_L = u_a − γ Σ π ln π` (§2).
+//! * [`respond`] — response strategies: `Random`, `UncertaintySampling`,
+//!   the paper's `StochasticBestResponse` and
+//!   `StochasticUncertaintySampling` (softmax with temperature γ), plus a
+//!   deterministic `Best` and a Thompson-sampling extension.
+//! * [`trainer`] — trainer agents: the FP/Bayesian trainer the user study
+//!   validates, a hypothesis-testing trainer, a stationary
+//!   (perfect-knowledge) trainer, and a label-noise wrapper.
+//! * [`learner`] — the active learner: belief + prediction model + response
+//!   strategy.
+//! * [`session`] — the game loop with per-iteration metrics (MAE, held-out
+//!   F1) and convergence/equilibrium tracking (Definition 2 /
+//!   Proposition 1).
+//! * [`candidates`] — the candidate pair pool each interaction draws from.
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod game;
+pub mod learner;
+pub mod payoff;
+pub mod replay;
+pub mod respond;
+pub mod session;
+pub mod trainer;
+pub mod weak_strong;
+
+pub use candidates::CandidatePool;
+pub use game::{Interaction, Label, PairExample};
+pub use learner::{EvidenceScope, Learner};
+pub use replay::{history_from_csv, history_to_csv, replay_history};
+pub use respond::{ResponseStrategy, ScoreBasis, StrategyKind};
+pub use session::{
+    run_session, ConvergenceReport, IterationMetrics, Session, SessionConfig, SessionResult,
+};
+pub use trainer::{FpTrainer, HtTrainer, NoisyTrainer, StationaryTrainer, Trainer};
+pub use weak_strong::{run_weak_strong, WeakStrongConfig, WeakStrongResult};

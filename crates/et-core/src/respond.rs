@@ -1,0 +1,649 @@
+//! Response strategies — how the learner picks which pairs to present.
+//!
+//! The paper compares:
+//!
+//! * **Fixed Random Sampling** — uniform over candidates (the baseline);
+//! * **Uncertainty Sampling (US)** — the classic active-learning heuristic:
+//!   deterministically take the most-uncertain examples;
+//! * **Stochastic Best Response** — the proposed strategy: sample
+//!   `x ∝ exp(u_a(θ, x) / γ)`, the logit best response of stochastic
+//!   fictitious play (Proposition 1's learner);
+//! * **Stochastic Uncertainty Sampling** — uncertainty in place of `u_a`
+//!   inside the softmax: `x ∝ exp(entropy(x, θ) / γ)` (approximates US as
+//!   γ → 0).
+//!
+//! Two extras round out the design space for ablations: deterministic
+//! `Best` (greedy `u_a`, the trainer-side best response of Proposition 1)
+//! and `ThompsonSampling` (score under a posterior draw instead of the
+//! posterior mean).
+
+use et_belief::Belief;
+use et_data::Table;
+use et_fd::{binary_entropy, tuple_dirty_prob_with, DetectParams, ViolationIndex};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::game::PairExample;
+use crate::payoff::{example_confidence, example_uncertainty};
+
+/// What the per-example scores are computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreBasis {
+    /// Pair-local probabilities: the pair's own violated FDs feed the
+    /// score — the paper's `entropy(x, θ_t)` adapted to pair selection
+    /// (§C.1 modifies every method to pick pairs). This is the default and
+    /// reproduces the paper's Figure 1/3 contrast: a learner with a wrong
+    /// prior systematically mis-scores which pairs are uncertain and
+    /// deterministic US degrades below Random, while with an informed prior
+    /// US is the sharpest method.
+    PairLocal,
+    /// Dataset-wide tuple probabilities: `p(clean | θ)` of each tuple
+    /// judged against the *whole* dataset's violation structure (ablation;
+    /// requires a [`ViolationIndex`]).
+    DatasetTuple,
+}
+
+/// Which selection rule to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Uniform over candidates (the paper's `Random`).
+    Random,
+    /// Deterministic top-k by uncertainty (the paper's `US`).
+    UncertaintySampling,
+    /// Softmax over `u_a / γ` (the paper's `StochasticBR`).
+    StochasticBestResponse,
+    /// Softmax over `entropy / γ` (the paper's `StochasticUS`).
+    StochasticUncertainty,
+    /// Deterministic top-k by `u_a` (greedy best response).
+    Best,
+    /// Greedy `u_a` under a Thompson draw from the belief posterior.
+    ThompsonSampling,
+    /// Top-k by analytic committee disagreement: the summed posterior
+    /// variance of the FDs the pair violates (the closed-form limit of
+    /// query-by-committee with Thompson-drawn committee members).
+    CommitteeDisagreement,
+    /// Uncertainty weighted by representativeness (how many hypotheses the
+    /// pair can inform) — the classic density-weighted US variant.
+    DensityWeightedUncertainty,
+}
+
+impl StrategyKind {
+    /// The four methods compared in the paper's empirical study, in its
+    /// reporting order.
+    pub const PAPER_METHODS: [StrategyKind; 4] = [
+        StrategyKind::Random,
+        StrategyKind::UncertaintySampling,
+        StrategyKind::StochasticBestResponse,
+        StrategyKind::StochasticUncertainty,
+    ];
+
+    /// Display name matching the paper.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StrategyKind::Random => "Random",
+            StrategyKind::UncertaintySampling => "US",
+            StrategyKind::StochasticBestResponse => "StochasticBR",
+            StrategyKind::StochasticUncertainty => "StochasticUS",
+            StrategyKind::Best => "Best",
+            StrategyKind::ThompsonSampling => "Thompson",
+            StrategyKind::CommitteeDisagreement => "Committee",
+            StrategyKind::DensityWeightedUncertainty => "DensityUS",
+        }
+    }
+
+    /// The extension strategies beyond the paper's four (for ablations).
+    pub const EXTENSIONS: [StrategyKind; 4] = [
+        StrategyKind::Best,
+        StrategyKind::ThompsonSampling,
+        StrategyKind::CommitteeDisagreement,
+        StrategyKind::DensityWeightedUncertainty,
+    ];
+}
+
+/// A configured response strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseStrategy {
+    /// The selection rule.
+    pub kind: StrategyKind,
+    /// Softmax temperature γ (> 0); the paper uses 0.5. Lower is greedier.
+    pub gamma: f64,
+    /// What the scores are computed from.
+    pub basis: ScoreBasis,
+}
+
+impl ResponseStrategy {
+    /// Builds a strategy; γ must be positive.
+    pub fn new(kind: StrategyKind, gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
+        Self {
+            kind,
+            gamma,
+            basis: ScoreBasis::PairLocal,
+        }
+    }
+
+    /// The paper's configuration (γ = 0.5, pair-local scoring).
+    pub fn paper(kind: StrategyKind) -> Self {
+        Self::new(kind, 0.5)
+    }
+
+    /// Overrides the score basis (ablation).
+    #[must_use]
+    pub fn with_basis(mut self, basis: ScoreBasis) -> Self {
+        self.basis = basis;
+        self
+    }
+
+    /// Selects up to `k` distinct pairs from `candidates`.
+    ///
+    /// Deterministic strategies break score ties by pair order; stochastic
+    /// strategies consume `rng`.
+    /// Selects up to `k` distinct pairs from `candidates`. `index` is the
+    /// dataset-wide violation index used by [`ScoreBasis::DatasetTuple`]
+    /// scoring; pass `None` to force pair-local scoring.
+    pub fn select(
+        &self,
+        table: &Table,
+        index: Option<&ViolationIndex>,
+        belief: &Belief,
+        candidates: &[PairExample],
+        k: usize,
+        rng: &mut StdRng,
+    ) -> Vec<PairExample> {
+        if candidates.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let k = k.min(candidates.len());
+        match self.kind {
+            StrategyKind::Random => {
+                let mut pool: Vec<PairExample> = candidates.to_vec();
+                pool.shuffle(rng);
+                pool.truncate(k);
+                pool
+            }
+            StrategyKind::UncertaintySampling
+            | StrategyKind::Best
+            | StrategyKind::CommitteeDisagreement
+            | StrategyKind::DensityWeightedUncertainty => {
+                let scores = self.scores(table, index, belief, candidates, None);
+                top_k(candidates, &scores, k)
+            }
+            StrategyKind::ThompsonSampling => {
+                // One posterior draw per interaction: score confidence under
+                // the sampled confidence vector.
+                let draw: Vec<f64> = (0..belief.len())
+                    .map(|i| belief.dist(i).sample(rng))
+                    .collect();
+                let scores = self.scores(table, index, belief, candidates, Some(&draw));
+                top_k(candidates, &scores, k)
+            }
+            StrategyKind::StochasticBestResponse | StrategyKind::StochasticUncertainty => {
+                let scores = self.scores(table, index, belief, candidates, None);
+                softmax_sample_without_replacement(candidates, &scores, self.gamma, k, rng)
+            }
+        }
+    }
+
+    /// The policy's selection distribution over `candidates` (used for
+    /// payoff accounting and policy-entropy metrics): softmax weights for
+    /// stochastic strategies, uniform over the top-k support for
+    /// deterministic ones, uniform for `Random`.
+    pub fn policy_distribution(
+        &self,
+        table: &Table,
+        index: Option<&ViolationIndex>,
+        belief: &Belief,
+        candidates: &[PairExample],
+        k: usize,
+    ) -> Vec<f64> {
+        let n = candidates.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        match self.kind {
+            StrategyKind::Random => vec![1.0 / n as f64; n],
+            StrategyKind::UncertaintySampling
+            | StrategyKind::Best
+            | StrategyKind::ThompsonSampling
+            | StrategyKind::CommitteeDisagreement
+            | StrategyKind::DensityWeightedUncertainty => {
+                let scores = self.scores(table, index, belief, candidates, None);
+                let chosen = top_k(candidates, &scores, k.min(n));
+                let w = 1.0 / chosen.len() as f64;
+                candidates
+                    .iter()
+                    .map(|p| if chosen.contains(p) { w } else { 0.0 })
+                    .collect()
+            }
+            StrategyKind::StochasticBestResponse | StrategyKind::StochasticUncertainty => {
+                let scores = self.scores(table, index, belief, candidates, None);
+                softmax(&scores, self.gamma)
+            }
+        }
+    }
+
+    /// Raw per-candidate scores for this strategy's criterion.
+    fn scores(
+        &self,
+        table: &Table,
+        index: Option<&ViolationIndex>,
+        belief: &Belief,
+        candidates: &[PairExample],
+        thompson_draw: Option<&[f64]>,
+    ) -> Vec<f64> {
+        if matches!(self.kind, StrategyKind::Random) {
+            return vec![0.0; candidates.len()];
+        }
+        if matches!(self.kind, StrategyKind::CommitteeDisagreement) {
+            // Summed posterior variance over the FDs each pair violates.
+            let rel = et_fd::SpaceRelations::new(belief.space());
+            return candidates
+                .iter()
+                .map(|p| {
+                    (0..rel.len())
+                        .filter(|&fi| {
+                            rel.relation(table, fi, p.a, p.b) == et_fd::PairRelation::Violates
+                        })
+                        .map(|fi| belief.dist(fi).variance())
+                        .sum()
+                })
+                .collect();
+        }
+        if matches!(self.kind, StrategyKind::DensityWeightedUncertainty) {
+            // Uncertainty x representativeness (relevant-FD count).
+            let rel = et_fd::SpaceRelations::new(belief.space());
+            let n_fds = rel.len().max(1) as f64;
+            return candidates
+                .iter()
+                .map(|&p| {
+                    let relevant = (0..rel.len())
+                        .filter(|&fi| {
+                            rel.relation(table, fi, p.a, p.b) != et_fd::PairRelation::Irrelevant
+                        })
+                        .count() as f64;
+                    example_uncertainty(table, belief, p) * (relevant / n_fds)
+                })
+                .collect();
+        }
+        let conf_holder;
+        let conf: &[f64] = match thompson_draw {
+            Some(d) => d,
+            None => {
+                conf_holder = belief.confidences();
+                &conf_holder
+            }
+        };
+        match (self.basis, index) {
+            (ScoreBasis::DatasetTuple, Some(index)) => {
+                // The paper's per-tuple p(dirty | θ) over the whole dataset.
+                let params = DetectParams::default();
+                let mut probs = vec![f64::NAN; index.n_rows()];
+                let prob = |row: usize, probs: &mut Vec<f64>| {
+                    if probs[row].is_nan() {
+                        probs[row] = tuple_dirty_prob_with(index, conf, row, &params);
+                    }
+                    probs[row]
+                };
+                candidates
+                    .iter()
+                    .map(|p| {
+                        let pa = prob(p.a, &mut probs);
+                        let pb = prob(p.b, &mut probs);
+                        match self.kind {
+                            StrategyKind::UncertaintySampling
+                            | StrategyKind::StochasticUncertainty => {
+                                binary_entropy(pa) + binary_entropy(pb)
+                            }
+                            _ => pa.max(1.0 - pa) + pb.max(1.0 - pb),
+                        }
+                    })
+                    .collect()
+            }
+            _ => {
+                // Pair-local scoring (ablation, or no index supplied).
+                match self.kind {
+                    StrategyKind::UncertaintySampling | StrategyKind::StochasticUncertainty => {
+                        candidates
+                            .iter()
+                            .map(|&p| example_uncertainty(table, belief, p))
+                            .collect()
+                    }
+                    _ => candidates
+                        .iter()
+                        .map(|&p| {
+                            if thompson_draw.is_some() {
+                                let (pa, pb) =
+                                    et_fd::pair_dirty_probs(table, belief.space(), conf, p.a, p.b);
+                                pa.max(1.0 - pa) + pb.max(1.0 - pb)
+                            } else {
+                                example_confidence(table, belief, p)
+                            }
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+}
+
+/// Deterministic top-k by score (ties by candidate order).
+fn top_k(candidates: &[PairExample], scores: &[f64], k: usize) -> Vec<PairExample> {
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    idx.truncate(k);
+    idx.into_iter().map(|i| candidates[i]).collect()
+}
+
+/// Numerically-stable softmax of `scores / gamma`.
+fn softmax(scores: &[f64], gamma: f64) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut out: Vec<f64> = scores.iter().map(|s| ((s - max) / gamma).exp()).collect();
+    let sum: f64 = out.iter().sum();
+    for v in &mut out {
+        *v /= sum;
+    }
+    out
+}
+
+/// Samples `k` distinct candidates with probabilities ∝ softmax weights,
+/// renormalising after each draw.
+fn softmax_sample_without_replacement(
+    candidates: &[PairExample],
+    scores: &[f64],
+    gamma: f64,
+    k: usize,
+    rng: &mut StdRng,
+) -> Vec<PairExample> {
+    let mut weights = softmax(scores, gamma);
+    let mut alive: Vec<usize> = (0..candidates.len()).collect();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let total: f64 = alive.iter().map(|&i| weights[i]).sum();
+        if total <= 0.0 || alive.is_empty() {
+            break;
+        }
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen_pos = alive.len() - 1;
+        for (pos, &i) in alive.iter().enumerate() {
+            if pick < weights[i] {
+                chosen_pos = pos;
+                break;
+            }
+            pick -= weights[i];
+        }
+        let i = alive.swap_remove(chosen_pos);
+        weights[i] = 0.0;
+        out.push(candidates[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_belief::Beta;
+    use et_data::table::paper_table1;
+    use et_fd::{Fd, HypothesisSpace};
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup(conf: f64) -> (Table, Belief, Vec<PairExample>) {
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let b = Belief::constant(space, Beta::from_mean_std(conf, 0.05));
+        let pool = vec![
+            PairExample::new(0, 1), // violates Team -> City
+            PairExample::new(1, 2), // satisfies City,Role -> Apps
+            PairExample::new(2, 3), // satisfies Team -> City
+        ];
+        (t, b, pool)
+    }
+
+    use et_data::Table;
+
+    #[test]
+    fn random_selects_k_distinct() {
+        let (t, b, pool) = setup(0.9);
+        let s = ResponseStrategy::paper(StrategyKind::Random);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = s.select(&t, None, &b, &pool, 2, &mut rng);
+        assert_eq!(picked.len(), 2);
+        assert_ne!(picked[0], picked[1]);
+    }
+
+    #[test]
+    fn us_prefers_uncertain_pairs() {
+        // With confidence 0.7, a violating pair has p_dirty = .7 (uncertain)
+        // while satisfying pairs have p = .3; same entropy. Make them
+        // differ: use 0.85 -> violating p=.85 (ent .42), satisfying p=.15
+        // (same). Entropies tie... instead compare against an irrelevant-ish
+        // candidate through a belief that is confident about one FD only.
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let mut b = Belief::constant(space, Beta::from_mean_std(0.55, 0.05));
+        // fd1 very confident -> its satisfying pair (1,2) is low entropy.
+        *b.dist_mut(1) = Beta::from_mean_std(0.98, 0.01);
+        let pool = vec![PairExample::new(0, 1), PairExample::new(1, 2)];
+        let s = ResponseStrategy::paper(StrategyKind::UncertaintySampling);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = s.select(&t, None, &b, &pool, 1, &mut rng);
+        assert_eq!(picked[0], PairExample::new(0, 1), "ambiguous pair first");
+    }
+
+    #[test]
+    fn best_prefers_confident_pairs() {
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let mut b = Belief::constant(space, Beta::from_mean_std(0.55, 0.05));
+        *b.dist_mut(1) = Beta::from_mean_std(0.98, 0.01);
+        let pool = vec![PairExample::new(0, 1), PairExample::new(1, 2)];
+        let s = ResponseStrategy::paper(StrategyKind::Best);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = s.select(&t, None, &b, &pool, 1, &mut rng);
+        assert_eq!(picked[0], PairExample::new(1, 2), "confident pair first");
+    }
+
+    #[test]
+    fn stochastic_variants_sample_distinct_and_deterministic_in_seed() {
+        let (t, b, pool) = setup(0.8);
+        for kind in [
+            StrategyKind::StochasticBestResponse,
+            StrategyKind::StochasticUncertainty,
+        ] {
+            let s = ResponseStrategy::paper(kind);
+            let run = |seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                s.select(&t, None, &b, &pool, 2, &mut rng)
+            };
+            let a = run(5);
+            assert_eq!(a.len(), 2);
+            assert_ne!(a[0], a[1]);
+            assert_eq!(a, run(5), "same seed, same sample");
+        }
+    }
+
+    #[test]
+    fn low_gamma_approaches_greedy() {
+        // StochasticUS with tiny gamma behaves like US (paper §4).
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let mut b = Belief::constant(space, Beta::from_mean_std(0.55, 0.05));
+        *b.dist_mut(1) = Beta::from_mean_std(0.98, 0.01);
+        let pool = vec![PairExample::new(0, 1), PairExample::new(1, 2)];
+        let greedy = ResponseStrategy::paper(StrategyKind::UncertaintySampling);
+        let stochastic = ResponseStrategy::new(StrategyKind::StochasticUncertainty, 1e-3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = greedy.select(&t, None, &b, &pool, 1, &mut rng);
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            assert_eq!(stochastic.select(&t, None, &b, &pool, 1, &mut rng), g);
+        }
+    }
+
+    #[test]
+    fn policy_distribution_sums_to_one() {
+        let (t, b, pool) = setup(0.8);
+        for kind in [
+            StrategyKind::Random,
+            StrategyKind::UncertaintySampling,
+            StrategyKind::StochasticBestResponse,
+            StrategyKind::StochasticUncertainty,
+            StrategyKind::Best,
+        ] {
+            let s = ResponseStrategy::paper(kind);
+            let d = s.policy_distribution(&t, None, &b, &pool, 2);
+            let sum: f64 = d.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{kind:?} sums to {sum}");
+            assert!(d.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn high_gamma_flattens_softmax() {
+        // Need pairs with *different* confidence scores: make one FD much
+        // more decided than the other.
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let mut b = Belief::constant(space, Beta::from_mean_std(0.55, 0.05));
+        *b.dist_mut(1) = Beta::from_mean_std(0.98, 0.01);
+        let pool = vec![
+            PairExample::new(0, 1),
+            PairExample::new(1, 2),
+            PairExample::new(2, 3),
+        ];
+        let sharp = ResponseStrategy::new(StrategyKind::StochasticBestResponse, 0.05);
+        let flat = ResponseStrategy::new(StrategyKind::StochasticBestResponse, 50.0);
+        let ds = sharp.policy_distribution(&t, None, &b, &pool, 2);
+        let df = flat.policy_distribution(&t, None, &b, &pool, 2);
+        let spread = |d: &[f64]| {
+            d.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+                - d.iter().cloned().fold(f64::INFINITY, f64::min)
+        };
+        assert!(spread(&ds) > spread(&df));
+        // Near-uniform at high temperature.
+        assert!(spread(&df) < 0.01);
+    }
+
+    #[test]
+    fn thompson_selects_k() {
+        let (t, b, pool) = setup(0.7);
+        let s = ResponseStrategy::paper(StrategyKind::ThompsonSampling);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(s.select(&t, None, &b, &pool, 2, &mut rng).len(), 2);
+    }
+
+    #[test]
+    fn k_larger_than_pool_is_clamped() {
+        let (t, b, pool) = setup(0.8);
+        let s = ResponseStrategy::paper(StrategyKind::Random);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(
+            s.select(&t, None, &b, &pool, 99, &mut rng).len(),
+            pool.len()
+        );
+        assert!(s.select(&t, None, &b, &[], 2, &mut rng).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use et_belief::{Belief, Beta};
+    use et_data::table::paper_table1;
+    use et_fd::{Fd, HypothesisSpace};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (et_data::Table, Belief, Vec<PairExample>) {
+        let t = paper_table1();
+        let space = Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),
+            Fd::from_attrs([2, 3], 4),
+        ]));
+        let b = Belief::constant(space, Beta::new(2.0, 2.0));
+        let pool = vec![
+            PairExample::new(0, 1),
+            PairExample::new(1, 2),
+            PairExample::new(2, 3),
+        ];
+        (t, b, pool)
+    }
+
+    #[test]
+    fn committee_prefers_high_variance_violations() {
+        let (t, mut b, pool) = setup();
+        // Shrink fd0's variance: its violating pair (0,1) should lose to
+        // nothing (no other violating pair exists), but its raw score drops.
+        let s = ResponseStrategy::paper(StrategyKind::CommitteeDisagreement);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = s.select(&t, None, &b, &pool, 1, &mut rng);
+        assert_eq!(
+            picked[0],
+            PairExample::new(0, 1),
+            "only violating pair wins"
+        );
+        // With a near-certain belief in fd0, disagreement collapses.
+        *b.dist_mut(0) = Beta::new(500.0, 1.0);
+        let scores_sharp = s.policy_distribution(&t, None, &b, &pool, 1);
+        // Policy still selects one pair, but the winner is unchanged
+        // (ties fall to candidate order); the invariant we check is
+        // validity of the distribution.
+        let sum: f64 = scores_sharp.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_weighting_downweights_narrow_pairs() {
+        let (t, b, _) = setup();
+        // (1,2) is relevant to one FD; craft a pair relevant to... in
+        // Table 1 all candidates touch a single FD, so check the scores
+        // are finite and the strategy selects k pairs.
+        let s = ResponseStrategy::paper(StrategyKind::DensityWeightedUncertainty);
+        let mut rng = StdRng::seed_from_u64(2);
+        let picked = s.select(
+            &t,
+            None,
+            &b,
+            &[PairExample::new(0, 1), PairExample::new(2, 3)],
+            2,
+            &mut rng,
+        );
+        assert_eq!(picked.len(), 2);
+    }
+
+    #[test]
+    fn extension_strategies_are_deterministic() {
+        let (t, b, pool) = setup();
+        for kind in [
+            StrategyKind::CommitteeDisagreement,
+            StrategyKind::DensityWeightedUncertainty,
+        ] {
+            let s = ResponseStrategy::paper(kind);
+            let mut r1 = StdRng::seed_from_u64(3);
+            let mut r2 = StdRng::seed_from_u64(99);
+            // Deterministic strategies ignore the RNG entirely.
+            assert_eq!(
+                s.select(&t, None, &b, &pool, 2, &mut r1),
+                s.select(&t, None, &b, &pool, 2, &mut r2),
+                "{kind:?}"
+            );
+        }
+    }
+}

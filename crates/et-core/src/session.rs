@@ -1,0 +1,567 @@
+//! The exploratory-training session: the game loop plus per-iteration
+//! metrics and convergence tracking.
+//!
+//! One session reproduces one curve of the paper's figures: `N` iterations
+//! (paper: 30) of `k` examples (paper: 10 tuples = 5 pairs), recording per
+//! iteration the MAE between trainer and learner models (Figures 1, 3–6)
+//! and the F1 of both agents' labeling on a held-out test set (Figure 7).
+//!
+//! Convergence is tracked per Definition 2 / Proposition 1: the session
+//! reports when both agents' beliefs (and the trainer's empirical labeling
+//! frequency Φ_t) stop moving.
+
+use std::sync::Arc;
+
+use et_belief::LabeledPair;
+use et_data::{split_rows, Table};
+use et_fd::{predict_labels, HypothesisSpace, ViolationIndex};
+use et_metrics::ConfusionMatrix;
+
+use crate::candidates::CandidatePool;
+use crate::game::Interaction;
+use crate::learner::Learner;
+use crate::payoff::policy_entropy;
+use crate::trainer::Trainer;
+
+/// Session parameters; defaults follow the paper's empirical study.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Number of interactions `N` (paper: 30).
+    pub iterations: usize,
+    /// Pairs presented per interaction (paper: 10 tuples = 5 pairs).
+    pub pairs_per_iteration: usize,
+    /// Fraction of rows held out for F1 evaluation (paper: 0.3).
+    pub test_frac: f64,
+    /// Cap on the candidate pair pool.
+    pub pool_cap: usize,
+    /// Belief-drift threshold for convergence detection.
+    pub eps_drift: f64,
+    /// Consecutive low-drift iterations required to declare convergence.
+    pub stability_window: usize,
+    /// RNG seed (splits, pool subsampling).
+    pub seed: u64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            iterations: 30,
+            pairs_per_iteration: 5,
+            test_frac: 0.3,
+            pool_cap: 4000,
+            eps_drift: 0.005,
+            stability_window: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Everything measured after one interaction.
+#[derive(Debug, Clone)]
+pub struct IterationMetrics {
+    /// Interaction number (0-based).
+    pub t: usize,
+    /// Mean absolute error between trainer and learner confidences.
+    pub mae: f64,
+    /// F1 of the learner's labeling on the held-out test set.
+    pub learner_f1: f64,
+    /// Precision of the learner's labeling on the test set.
+    pub learner_precision: f64,
+    /// Recall of the learner's labeling on the test set.
+    pub learner_recall: f64,
+    /// F1 of the trainer's model on the test set (reference).
+    pub trainer_f1: f64,
+    /// Max confidence move of the learner since the last iteration.
+    pub learner_drift: f64,
+    /// Max confidence move of the trainer since the last iteration.
+    pub trainer_drift: f64,
+    /// Entropy of the learner's selection policy this iteration.
+    pub policy_entropy: f64,
+    /// Dirty labels given this iteration.
+    pub dirty_labels: usize,
+    /// Cumulative empirical dirty-label frequency Φ_t (trainer actions).
+    pub phi_dirty: f64,
+    /// Fraction of this iteration's labels the learner's pre-update belief
+    /// would have predicted identically (agreement → shared belief).
+    pub agreement: f64,
+}
+
+/// Convergence summary per Definition 2 / Proposition 1.
+#[derive(Debug, Clone)]
+pub struct ConvergenceReport {
+    /// First iteration after which both agents stayed below `eps_drift` for
+    /// `stability_window` consecutive iterations.
+    pub converged_at: Option<usize>,
+    /// Final MAE between the agents' models.
+    pub final_mae: f64,
+    /// Mean drift (both agents) over the last `stability_window` iterations.
+    pub tail_drift: f64,
+    /// Largest change of Φ_t over the last `stability_window` iterations.
+    pub tail_phi_change: f64,
+}
+
+impl ConvergenceReport {
+    /// True when a stable point was reached within the session.
+    pub fn converged(&self) -> bool {
+        self.converged_at.is_some()
+    }
+}
+
+/// The outcome of a full session.
+#[derive(Debug, Clone)]
+pub struct SessionResult {
+    /// Per-iteration metrics, one entry per executed interaction.
+    pub metrics: Vec<IterationMetrics>,
+    /// The full interaction history `h_t`.
+    pub history: Vec<Interaction>,
+    /// Convergence summary.
+    pub convergence: ConvergenceReport,
+    /// Trainer's final confidences.
+    pub trainer_confidences: Vec<f64>,
+    /// Learner's final confidences.
+    pub learner_confidences: Vec<f64>,
+}
+
+impl SessionResult {
+    /// The MAE curve (one value per iteration).
+    pub fn mae_series(&self) -> Vec<f64> {
+        self.metrics.iter().map(|m| m.mae).collect()
+    }
+
+    /// The learner-F1 curve.
+    pub fn f1_series(&self) -> Vec<f64> {
+        self.metrics.iter().map(|m| m.learner_f1).collect()
+    }
+
+    /// Per-iteration metrics as CSV (one row per interaction).
+    pub fn metrics_csv(&self) -> String {
+        let mut out = String::from(
+            "iter,mae,learner_f1,learner_precision,learner_recall,trainer_f1,\
+             learner_drift,trainer_drift,policy_entropy,dirty_labels,phi_dirty,agreement\n",
+        );
+        for m in &self.metrics {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                m.t,
+                m.mae,
+                m.learner_f1,
+                m.learner_precision,
+                m.learner_recall,
+                m.trainer_f1,
+                m.learner_drift,
+                m.trainer_drift,
+                m.policy_entropy,
+                m.dirty_labels,
+                m.phi_dirty,
+                m.agreement
+            ));
+        }
+        out
+    }
+}
+
+/// A prepared session over one dataset.
+pub struct Session<'a> {
+    table: &'a Table,
+    space: Arc<HypothesisSpace>,
+    dirty_rows: &'a [bool],
+    cfg: SessionConfig,
+}
+
+impl<'a> Session<'a> {
+    /// Prepares a session.
+    ///
+    /// # Panics
+    /// Panics when `dirty_rows` does not align with the table.
+    pub fn new(
+        table: &'a Table,
+        space: Arc<HypothesisSpace>,
+        dirty_rows: &'a [bool],
+        cfg: SessionConfig,
+    ) -> Self {
+        assert_eq!(
+            dirty_rows.len(),
+            table.nrows(),
+            "ground-truth dirty flags must align with the table"
+        );
+        assert!(cfg.iterations > 0 && cfg.pairs_per_iteration > 0);
+        Self {
+            table,
+            space,
+            dirty_rows,
+            cfg,
+        }
+    }
+
+    /// Runs the game between `trainer` and `learner`.
+    pub fn run(&self, trainer: &mut dyn Trainer, learner: &mut Learner) -> SessionResult {
+        let (train_rows, test_rows) =
+            split_rows(self.table.nrows(), self.cfg.test_frac, self.cfg.seed);
+        let in_train = {
+            let mut mask = vec![false; self.table.nrows()];
+            for &r in &train_rows {
+                mask[r] = true;
+            }
+            mask
+        };
+
+        // Held-out evaluation context: violations within the test subset.
+        let test_table = self.table.subset(&test_rows);
+        let test_index = ViolationIndex::build(&test_table, &self.space);
+        let test_dirty: Vec<bool> = test_rows.iter().map(|&r| self.dirty_rows[r]).collect();
+        let test_eval_rows: Vec<usize> = (0..test_rows.len()).collect();
+
+        // Dataset-wide violation index for strategy scoring (the paper's
+        // tuple-level p(clean | θ) is judged against the whole dataset).
+        let score_index = ViolationIndex::build(self.table, &self.space);
+
+        // Candidate pool restricted to training rows.
+        let pool = CandidatePool::build(self.table, &self.space, self.cfg.pool_cap, self.cfg.seed);
+        let pool = CandidatePool::from_pairs(
+            pool.pairs()
+                .iter()
+                .copied()
+                .filter(|p| in_train[p.a] && in_train[p.b])
+                .collect(),
+        );
+
+        let mut metrics = Vec::with_capacity(self.cfg.iterations);
+        let mut history = Vec::with_capacity(self.cfg.iterations);
+        let mut prev_trainer = trainer.confidences();
+        let mut prev_learner = learner.confidences();
+        let mut labels_total = 0usize;
+        let mut dirty_total = 0usize;
+
+        for t in 0..self.cfg.iterations {
+            // Policy distribution before selection (for entropy accounting).
+            let (_, dist) = learner.policy_over_fresh(
+                self.table,
+                Some(&score_index),
+                &pool,
+                self.cfg.pairs_per_iteration,
+            );
+            let h_policy = policy_entropy(&dist);
+
+            let pairs = learner.select(
+                self.table,
+                Some(&score_index),
+                &pool,
+                self.cfg.pairs_per_iteration,
+            );
+            if pairs.is_empty() {
+                break; // pool exhausted
+            }
+
+            // The presented sample: the distinct tuples of the selected
+            // pairs (k pairs -> up to 2k tuples, the paper's k = 10).
+            let mut sample: Vec<usize> = Vec::with_capacity(pairs.len() * 2);
+            for p in &pairs {
+                for r in [p.a, p.b] {
+                    if !sample.contains(&r) {
+                        sample.push(r);
+                    }
+                }
+            }
+
+            // Learner's pre-update predicted labels on the sample, for the
+            // agreement metric.
+            let learner_conf_pre = learner.confidences();
+            let sub = self.table.subset(&sample);
+            let sub_index = ViolationIndex::build(&sub, &self.space);
+            let local_rows: Vec<usize> = (0..sample.len()).collect();
+            let predicted = predict_labels(&sub_index, &learner_conf_pre, &local_rows);
+
+            let tuple_labels = trainer.respond(self.table, &sample);
+            debug_assert_eq!(tuple_labels.len(), sample.len());
+
+            // The labeled evidence the learner receives: every within-sample
+            // pair relevant to at least one hypothesis-space FD, labeled by
+            // the trainer's per-tuple verdicts.
+            // Record the within-sample evidence for the history; what the
+            // learner actually consumes is governed by its EvidenceScope.
+            let labeled = labeled_sample_pairs(self.table, &self.space, &sample, &tuple_labels);
+            learner.absorb_interaction(self.table, &pairs, &sample, &tuple_labels);
+
+            let agreement = if sample.is_empty() {
+                1.0
+            } else {
+                predicted
+                    .iter()
+                    .zip(&tuple_labels)
+                    .filter(|(p, a)| p == a)
+                    .count() as f64
+                    / sample.len() as f64
+            };
+            let dirty_now: usize = tuple_labels.iter().filter(|&&d| d).count();
+            dirty_total += dirty_now;
+            labels_total += sample.len();
+
+            let tc = trainer.confidences();
+            let lc = learner.confidences();
+            let learner_pred = predict_labels(&test_index, &lc, &test_eval_rows);
+            let trainer_pred = predict_labels(&test_index, &tc, &test_eval_rows);
+            let lm = ConfusionMatrix::from_predictions(&learner_pred, &test_dirty);
+            let tm = ConfusionMatrix::from_predictions(&trainer_pred, &test_dirty);
+
+            metrics.push(IterationMetrics {
+                t,
+                mae: mae(&tc, &lc),
+                learner_f1: lm.f1(),
+                learner_precision: lm.precision(),
+                learner_recall: lm.recall(),
+                trainer_f1: tm.f1(),
+                learner_drift: max_abs_diff(&prev_learner, &lc),
+                trainer_drift: max_abs_diff(&prev_trainer, &tc),
+                policy_entropy: h_policy,
+                dirty_labels: dirty_now,
+                phi_dirty: dirty_total as f64 / labels_total.max(1) as f64,
+                agreement,
+            });
+            history.push(Interaction {
+                t,
+                selected: pairs,
+                sample,
+                labels: tuple_labels,
+                labeled,
+            });
+            prev_trainer = tc;
+            prev_learner = lc;
+        }
+
+        let convergence = convergence_report(&metrics, &self.cfg);
+        SessionResult {
+            convergence,
+            trainer_confidences: prev_trainer,
+            learner_confidences: prev_learner,
+            metrics,
+            history,
+        }
+    }
+}
+
+/// Convenience wrapper: prepare and run in one call.
+pub fn run_session(
+    table: &Table,
+    space: Arc<HypothesisSpace>,
+    dirty_rows: &[bool],
+    cfg: SessionConfig,
+    trainer: &mut dyn Trainer,
+    learner: &mut Learner,
+) -> SessionResult {
+    Session::new(table, space, dirty_rows, cfg).run(trainer, learner)
+}
+
+/// Builds the labeled evidence pairs of one interaction: every within-sample
+/// pair relevant to at least one hypothesis-space FD, carrying the trainer's
+/// per-tuple labels (global row ids).
+fn labeled_sample_pairs(
+    table: &Table,
+    space: &Arc<HypothesisSpace>,
+    sample: &[usize],
+    tuple_labels: &[bool],
+) -> Vec<LabeledPair> {
+    let rel = et_fd::SpaceRelations::new(space);
+    let mut out = Vec::new();
+    for i in 0..sample.len() {
+        for j in (i + 1)..sample.len() {
+            let (a, b) = (sample[i], sample[j]);
+            if rel.relevant_to_any(table, a, b) {
+                out.push(LabeledPair {
+                    a,
+                    b,
+                    dirty_a: tuple_labels[i],
+                    dirty_b: tuple_labels[j],
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Mean absolute error between two confidence vectors.
+pub fn mae(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "confidence vectors must align");
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn convergence_report(metrics: &[IterationMetrics], cfg: &SessionConfig) -> ConvergenceReport {
+    let w = cfg.stability_window;
+    let mut converged_at = None;
+    if metrics.len() >= w {
+        'outer: for start in 0..=(metrics.len() - w) {
+            for m in &metrics[start..start + w] {
+                if m.learner_drift > cfg.eps_drift || m.trainer_drift > cfg.eps_drift {
+                    continue 'outer;
+                }
+            }
+            converged_at = Some(start);
+            break;
+        }
+    }
+    let tail = &metrics[metrics.len().saturating_sub(w)..];
+    let tail_drift = if tail.is_empty() {
+        0.0
+    } else {
+        tail.iter()
+            .map(|m| (m.learner_drift + m.trainer_drift) / 2.0)
+            .sum::<f64>()
+            / tail.len() as f64
+    };
+    let tail_phi_change = tail
+        .windows(2)
+        .map(|w| (w[0].phi_dirty - w[1].phi_dirty).abs())
+        .fold(0.0, f64::max);
+    ConvergenceReport {
+        converged_at,
+        final_mae: metrics.last().map_or(0.0, |m| m.mae),
+        tail_drift,
+        tail_phi_change,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::respond::{ResponseStrategy, StrategyKind};
+    use crate::trainer::FpTrainer;
+    use et_belief::{build_prior, Belief, Beta, EvidenceConfig, PriorConfig, PriorSpec};
+    use et_data::gen::omdb;
+    use et_data::{inject_errors, InjectConfig};
+    use et_fd::Fd;
+
+    fn fixture() -> (Table, Vec<bool>, Arc<HypothesisSpace>) {
+        let mut ds = omdb(200, 11);
+        let specs = ds.exact_fds.clone();
+        let inj = inject_errors(
+            &mut ds.table,
+            &specs,
+            &[],
+            &InjectConfig::with_degree(0.12, 5),
+        );
+        let pinned: Vec<Fd> = specs.iter().map(Fd::from_spec).collect();
+        let space = Arc::new(HypothesisSpace::capped(&ds.table, 3, 20, 3, &pinned));
+        (ds.table, inj.dirty_rows, space)
+    }
+
+    use et_data::Table;
+
+    fn run_with(
+        kind: StrategyKind,
+        table: &Table,
+        dirty: &[bool],
+        space: &Arc<HypothesisSpace>,
+    ) -> SessionResult {
+        let prior_cfg = PriorConfig::weak();
+        let trainer_prior = build_prior(&PriorSpec::Random { seed: 3 }, &prior_cfg, space, table);
+        let learner_prior = build_prior(&PriorSpec::DataEstimate, &prior_cfg, space, table);
+        let mut trainer = FpTrainer::new(trainer_prior, EvidenceConfig::default());
+        let mut learner = Learner::new(
+            learner_prior,
+            ResponseStrategy::paper(kind),
+            EvidenceConfig::default(),
+            7,
+        );
+        run_session(
+            table,
+            space.clone(),
+            dirty,
+            SessionConfig::default(),
+            &mut trainer,
+            &mut learner,
+        )
+    }
+
+    #[test]
+    fn session_produces_full_metrics() {
+        let (table, dirty, space) = fixture();
+        let r = run_with(StrategyKind::Random, &table, &dirty, &space);
+        assert_eq!(r.metrics.len(), 30);
+        assert_eq!(r.history.len(), 30);
+        for m in &r.metrics {
+            assert!((0.0..=1.0).contains(&m.mae));
+            assert!((0.0..=1.0).contains(&m.learner_f1));
+            assert!((0.0..=1.0).contains(&m.agreement));
+            assert!(m.policy_entropy >= 0.0);
+        }
+        assert_eq!(r.trainer_confidences.len(), space.len());
+    }
+
+    #[test]
+    fn mae_decreases_over_session() {
+        let (table, dirty, space) = fixture();
+        for kind in StrategyKind::PAPER_METHODS {
+            let r = run_with(kind, &table, &dirty, &space);
+            let first = r.metrics[0].mae;
+            let last = r.convergence.final_mae;
+            assert!(
+                last < first,
+                "{}: MAE should fall ({first} -> {last})",
+                kind.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn sessions_are_deterministic() {
+        let (table, dirty, space) = fixture();
+        let a = run_with(StrategyKind::StochasticBestResponse, &table, &dirty, &space);
+        let b = run_with(StrategyKind::StochasticBestResponse, &table, &dirty, &space);
+        assert_eq!(a.mae_series(), b.mae_series());
+        assert_eq!(a.learner_confidences, b.learner_confidences);
+    }
+
+    #[test]
+    fn fresh_examples_every_iteration() {
+        let (table, dirty, space) = fixture();
+        let r = run_with(StrategyKind::UncertaintySampling, &table, &dirty, &space);
+        let mut seen = std::collections::HashSet::new();
+        for i in &r.history {
+            for p in &i.selected {
+                assert!(
+                    seen.insert(*p),
+                    "selected pair repeated across interactions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mae_helper_basics() {
+        assert_eq!(mae(&[0.0, 1.0], &[1.0, 1.0]), 0.5);
+        assert_eq!(mae(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn identical_agents_converge_immediately() {
+        // Trainer and learner with the same prior and a stationary trainer:
+        // MAE stays small and the session converges.
+        let (table, dirty, space) = fixture();
+        let belief = Belief::constant(space.clone(), Beta::from_mean_std(0.7, 0.05));
+        let mut trainer = crate::trainer::StationaryTrainer::new(belief.clone());
+        let mut learner = Learner::new(
+            belief,
+            ResponseStrategy::paper(StrategyKind::Random),
+            EvidenceConfig::default(),
+            3,
+        );
+        let r = run_session(
+            &table,
+            space,
+            &dirty,
+            SessionConfig::default(),
+            &mut trainer,
+            &mut learner,
+        );
+        assert!(r.metrics[0].mae < 0.05);
+    }
+}

@@ -1,0 +1,487 @@
+//! Trainer agents — models of the human annotator.
+//!
+//! The user study (§3, §A) finds that humans training a model are best
+//! described by fictitious play / Bayesian learning, so the empirical study
+//! "simulates the trainer's learning using FP (Bayesian)" — that is
+//! [`FpTrainer`]. [`HtTrainer`] implements the competing hypothesis-testing
+//! model; [`StationaryTrainer`] is the fixed-belief annotator classic
+//! active learning assumes; [`OracleTrainer`] labels from ground truth
+//! (an upper bound); [`NoisyTrainer`] wraps any trainer with i.i.d. label
+//! flips (the "fixed small chance of annotation mistakes" of prior work).
+//!
+//! **Protocol.** Each interaction the trainer receives the full presented
+//! *sample* (the paper shows k = 10 tuples), inspects every within-sample
+//! tuple pair — that is how an annotator actually spots FD violations —
+//! updates its belief, and returns one clean/dirty label per tuple.
+
+use et_belief::{
+    update_from_pair_relations, Belief, EvidenceConfig, HypothesisTester, LabeledPair,
+};
+use et_data::Table;
+use et_fd::{pair_relation, tuple_dirty_prob, PairRelation, ViolationIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A trainer: observes a presented sample, (possibly) learns, and labels
+/// each tuple of the sample (`true` = dirty).
+pub trait Trainer {
+    /// Observes the sample (row ids into `table`), updates any internal
+    /// state, and returns one label per sample tuple.
+    fn respond(&mut self, table: &Table, sample: &[usize]) -> Vec<bool>;
+
+    /// The trainer's current per-FD confidences (the θ^T the learner tries
+    /// to match; used by the MAE metric).
+    fn confidences(&self) -> Vec<f64>;
+
+    /// Display name.
+    fn name(&self) -> String;
+}
+
+/// All unordered within-sample pairs (as local indices into the sample).
+fn local_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push((i, j));
+        }
+    }
+    out
+}
+
+/// Labels every tuple of a sample subtable by thresholding the belief-
+/// weighted dirty probability computed from the sample's own violation
+/// structure. The detector's sigmoid indicator already gates out
+/// hypotheses the annotator has not firmly accepted.
+fn label_sample(sub: &Table, belief: &Belief, threshold: f64) -> Vec<bool> {
+    let idx = ViolationIndex::build(sub, belief.space());
+    let conf = belief.confidences();
+    (0..sub.nrows())
+        .map(|i| tuple_dirty_prob(&idx, &conf, i) > threshold)
+        .collect()
+}
+
+/// The fictitious-play (Bayesian) trainer the user study validates.
+///
+/// Each interaction it (1) pairs the newly presented tuples against
+/// everything it has seen so far and updates its belief with the raw
+/// satisfies/violates relations — the paper's cumulative prediction model
+/// `θ_t^T = P^T(θ_{t−1}^T, X^1, …, X^t)`, the annotator estimating which
+/// FDs "hold over the observed data with the fewest exceptions" — then
+/// (2) labels the sample tuples from the *updated* belief, judging
+/// violations within the presented sample (the user study has participants
+/// mark violations "in the presented examples"). Labels therefore drift as
+/// the trainer's belief evolves: the non-stationarity the paper is about.
+#[derive(Debug, Clone)]
+pub struct FpTrainer {
+    belief: Belief,
+    /// Weight of each observed pair relation in the belief update.
+    pub observation_weight: f64,
+    /// Dirty-probability threshold for labeling (default 0.5).
+    pub threshold: f64,
+    /// When true, new tuples are also paired against every previously seen
+    /// tuple (cumulative `P^T(θ, X^1..X^t)`); when false the update uses the
+    /// presented sample only.
+    cross_memory: bool,
+    /// Per-interaction belief discount (discounted fictitious play); `None`
+    /// keeps all evidence forever.
+    discount: Option<f64>,
+    memory: Vec<usize>,
+    in_memory: std::collections::HashSet<usize>,
+}
+
+impl FpTrainer {
+    /// Builds the trainer from a prior belief.
+    pub fn new(prior: Belief, evidence: EvidenceConfig) -> Self {
+        Self {
+            belief: prior,
+            observation_weight: evidence.clean_weight,
+            threshold: 0.5,
+            cross_memory: false,
+            discount: None,
+            memory: Vec::new(),
+            in_memory: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Enables cumulative cross-memory evidence (the annotator re-examines
+    /// everything seen so far each round).
+    #[must_use]
+    pub fn with_cross_memory(mut self, on: bool) -> Self {
+        self.cross_memory = on;
+        self
+    }
+
+    /// Enables discounted fictitious play: pseudo-counts decay by `lambda`
+    /// every interaction, letting the annotator track evolving data (the
+    /// forgetful-annotator extension the paper's introduction motivates).
+    ///
+    /// # Panics
+    /// Panics when `lambda` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_discount(mut self, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        self.discount = Some(lambda);
+        self
+    }
+
+    /// Read access to the evolving belief.
+    pub fn belief(&self) -> &Belief {
+        &self.belief
+    }
+
+    /// Tuples observed so far.
+    pub fn tuples_seen(&self) -> usize {
+        self.memory.len()
+    }
+}
+
+impl Trainer for FpTrainer {
+    fn respond(&mut self, table: &Table, sample: &[usize]) -> Vec<bool> {
+        // (0) Discounted FP: old evidence decays before new arrives.
+        if let Some(lambda) = self.discount {
+            self.belief.discount(lambda);
+        }
+        // (1) Belief update P^T: every not-yet-counted pair touching a new
+        // tuple (new-new within the sample, plus new x previously seen).
+        let new: Vec<usize> = sample
+            .iter()
+            .copied()
+            .filter(|r| !self.in_memory.contains(r))
+            .collect();
+        let mut evidence = Vec::with_capacity(sample.len() * sample.len());
+        for (i, &a) in sample.iter().enumerate() {
+            for &b in &sample[i + 1..] {
+                if a != b {
+                    evidence.push((a, b));
+                }
+            }
+        }
+        // Within-sample pairs between two previously seen tuples were
+        // already counted; drop them to keep each pair's evidence single-use.
+        if !self.memory.is_empty() {
+            evidence
+                .retain(|&(a, b)| !(self.in_memory.contains(&a) && self.in_memory.contains(&b)));
+        }
+        if self.cross_memory {
+            for &a in &new {
+                for &b in &self.memory {
+                    evidence.push((a, b));
+                }
+            }
+        }
+        update_from_pair_relations(&mut self.belief, table, &evidence, self.observation_weight);
+        for r in new {
+            self.memory.push(r);
+            self.in_memory.insert(r);
+        }
+        // (2) Labels under θ_t, judged within the presented sample.
+        let sub = table.subset(sample);
+        label_sample(&sub, &self.belief, self.threshold)
+    }
+
+    fn confidences(&self) -> Vec<f64> {
+        self.belief.confidences()
+    }
+
+    fn name(&self) -> String {
+        "FP".into()
+    }
+}
+
+/// A hypothesis-testing trainer: labels violations of its single current
+/// hypothesis, and switches hypothesis when the recent window rejects it.
+#[derive(Debug, Clone)]
+pub struct HtTrainer {
+    tester: HypothesisTester,
+    n_fds: usize,
+    /// Confidence reported for the held hypothesis in [`Trainer::confidences`].
+    pub held_confidence: f64,
+    /// Confidence reported for all other FDs.
+    pub other_confidence: f64,
+}
+
+impl HtTrainer {
+    /// Builds from a hypothesis tester (use
+    /// [`et_belief::ScoreMode::DataSatisfaction`] for a human-like trainer).
+    pub fn new(tester: HypothesisTester) -> Self {
+        let n_fds = tester.space().len();
+        Self {
+            tester,
+            n_fds,
+            held_confidence: 0.95,
+            other_confidence: 0.1,
+        }
+    }
+
+    /// The currently held hypothesis index.
+    pub fn current_index(&self) -> usize {
+        self.tester.current_index()
+    }
+}
+
+impl Trainer for HtTrainer {
+    fn respond(&mut self, table: &Table, sample: &[usize]) -> Vec<bool> {
+        let sub = table.subset(sample);
+        let current = self.tester.current_fd();
+        let mut labels = vec![false; sub.nrows()];
+        let mut labeled_pairs = Vec::new();
+        for (i, j) in local_pairs(sub.nrows()) {
+            let violates = pair_relation(&sub, &current, i, j) == PairRelation::Violates;
+            if violates {
+                labels[i] = true;
+                labels[j] = true;
+            }
+            // The whole sample is the test window; scoring filters per-FD
+            // relevance itself.
+            labeled_pairs.push(LabeledPair {
+                a: i,
+                b: j,
+                dirty_a: violates,
+                dirty_b: violates,
+            });
+        }
+        // Test (and possibly switch) the hypothesis on this interaction.
+        let _ = self.tester.observe_interaction(&sub, &labeled_pairs);
+        labels
+    }
+
+    fn confidences(&self) -> Vec<f64> {
+        let mut conf = vec![self.other_confidence; self.n_fds];
+        conf[self.tester.current_index()] = self.held_confidence;
+        conf
+    }
+
+    fn name(&self) -> String {
+        "HT".into()
+    }
+}
+
+/// The stationary annotator assumed by classic active learning: a fixed
+/// belief, never updated.
+#[derive(Debug, Clone)]
+pub struct StationaryTrainer {
+    belief: Belief,
+    /// Dirty-probability threshold for labeling.
+    pub threshold: f64,
+}
+
+impl StationaryTrainer {
+    /// Builds from the fixed belief.
+    pub fn new(belief: Belief) -> Self {
+        Self {
+            belief,
+            threshold: 0.5,
+        }
+    }
+}
+
+impl Trainer for StationaryTrainer {
+    fn respond(&mut self, table: &Table, sample: &[usize]) -> Vec<bool> {
+        let sub = table.subset(sample);
+        label_sample(&sub, &self.belief, self.threshold)
+    }
+
+    fn confidences(&self) -> Vec<f64> {
+        self.belief.confidences()
+    }
+
+    fn name(&self) -> String {
+        "Stationary".into()
+    }
+}
+
+/// Labels straight from ground-truth dirty flags (an annotator with perfect
+/// knowledge of which tuples are erroneous) — an upper-bound baseline.
+#[derive(Debug, Clone)]
+pub struct OracleTrainer {
+    dirty: Vec<bool>,
+    confidences: Vec<f64>,
+}
+
+impl OracleTrainer {
+    /// `dirty[row]` is the ground truth; `confidences` is the model the
+    /// oracle is assumed to hold (e.g. 1.0 on true FDs).
+    pub fn new(dirty: Vec<bool>, confidences: Vec<f64>) -> Self {
+        Self { dirty, confidences }
+    }
+}
+
+impl Trainer for OracleTrainer {
+    fn respond(&mut self, _table: &Table, sample: &[usize]) -> Vec<bool> {
+        sample.iter().map(|&r| self.dirty[r]).collect()
+    }
+
+    fn confidences(&self) -> Vec<f64> {
+        self.confidences.clone()
+    }
+
+    fn name(&self) -> String {
+        "Oracle".into()
+    }
+}
+
+/// Wraps a trainer with i.i.d. label flips — the fixed, stationary noise
+/// model prior active-learning work assumes.
+pub struct NoisyTrainer<T: Trainer> {
+    inner: T,
+    flip_prob: f64,
+    rng: StdRng,
+}
+
+impl<T: Trainer> NoisyTrainer<T> {
+    /// Flips each emitted label independently with probability `flip_prob`.
+    pub fn new(inner: T, flip_prob: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&flip_prob),
+            "flip probability out of range"
+        );
+        Self {
+            inner,
+            flip_prob,
+            rng: StdRng::seed_from_u64(seed ^ 0x2545_f491_4f6c_dd1d),
+        }
+    }
+}
+
+impl<T: Trainer> Trainer for NoisyTrainer<T> {
+    fn respond(&mut self, table: &Table, sample: &[usize]) -> Vec<bool> {
+        let mut labels = self.inner.respond(table, sample);
+        for l in &mut labels {
+            if self.rng.gen::<f64>() < self.flip_prob {
+                *l = !*l;
+            }
+        }
+        labels
+    }
+
+    fn confidences(&self) -> Vec<f64> {
+        self.inner.confidences()
+    }
+
+    fn name(&self) -> String {
+        format!("{}+noise", self.inner.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_belief::{Beta, ScoreMode};
+    use et_data::table::paper_table1;
+    use et_fd::{Fd, HypothesisSpace};
+    use std::sync::Arc;
+
+    fn space() -> Arc<HypothesisSpace> {
+        Arc::new(HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),    // Team -> City
+            Fd::from_attrs([2, 3], 4), // City,Role -> Apps
+        ]))
+    }
+
+    fn confident_belief() -> Belief {
+        Belief::constant(space(), Beta::from_mean_std(0.9, 0.05))
+    }
+
+    #[test]
+    fn fp_trainer_labels_violations_dirty() {
+        let t = paper_table1();
+        let mut tr = FpTrainer::new(confident_belief(), EvidenceConfig::default());
+        // Sample = whole table: the Lakers pair violates Team -> City.
+        let labels = tr.respond(&t, &[0, 1, 2, 3, 4]);
+        assert!(labels[0] && labels[1], "violating pair dirty");
+        assert!(!labels[2] && !labels[3], "satisfying tuples clean");
+        assert!(!labels[4], "irrelevant tuple clean");
+    }
+
+    #[test]
+    fn fp_trainer_learns_from_observations() {
+        let t = paper_table1();
+        let mut tr = FpTrainer::new(
+            Belief::constant(space(), Beta::new(2.0, 2.0)),
+            EvidenceConfig::default(),
+        );
+        let before = tr.confidences();
+        for _ in 0..10 {
+            let _ = tr.respond(&t, &[2, 3]); // Bulls pair satisfies fd0
+        }
+        let after = tr.confidences();
+        assert!(after[0] > before[0], "satisfying evidence raises fd0");
+        assert_eq!(after[1], before[1], "no fd1 evidence in this sample");
+    }
+
+    #[test]
+    fn fp_trainer_demotes_violated_fd() {
+        let t = paper_table1();
+        let mut tr = FpTrainer::new(
+            Belief::constant(space(), Beta::new(5.0, 5.0)),
+            EvidenceConfig::default(),
+        );
+        for _ in 0..5 {
+            let _ = tr.respond(&t, &[0, 1]); // Lakers violation
+        }
+        assert!(tr.confidences()[0] < 0.5);
+    }
+
+    #[test]
+    fn ht_trainer_labels_by_hypothesis_and_switches() {
+        let t = paper_table1();
+        let tester = HypothesisTester::new(space(), 0, 0.6, ScoreMode::DataSatisfaction);
+        let mut tr = HtTrainer::new(tester);
+        assert_eq!(tr.current_index(), 0);
+        // Sample contains the Lakers violation of fd0 and the (t2, t3)
+        // support for fd1.
+        let labels = tr.respond(&t, &[0, 1, 2]);
+        assert!(
+            labels[0] && labels[1],
+            "violation of held hypothesis marked"
+        );
+        assert!(!labels[2]);
+        // fd0 scored 0 on the window -> rejected in favour of a better FD.
+        assert_ne!(tr.current_index(), 0);
+        let conf = tr.confidences();
+        assert!(conf[tr.current_index()] > conf[0]);
+    }
+
+    #[test]
+    fn stationary_trainer_never_moves() {
+        let t = paper_table1();
+        let mut tr = StationaryTrainer::new(confident_belief());
+        let before = tr.confidences();
+        for _ in 0..5 {
+            let _ = tr.respond(&t, &[0, 1]);
+        }
+        assert_eq!(tr.confidences(), before);
+    }
+
+    #[test]
+    fn oracle_labels_ground_truth() {
+        let t = paper_table1();
+        let mut tr = OracleTrainer::new(vec![false, true, false, false, false], vec![1.0, 0.0]);
+        let labels = tr.respond(&t, &[0, 1]);
+        assert_eq!(labels, vec![false, true]);
+    }
+
+    #[test]
+    fn noisy_trainer_flips_some_labels() {
+        let t = paper_table1();
+        let clean = OracleTrainer::new(vec![false; 5], vec![1.0, 1.0]);
+        let mut noisy = NoisyTrainer::new(clean, 0.5, 7);
+        let mut flips = 0;
+        for _ in 0..20 {
+            let labels = noisy.respond(&t, &[0, 1]);
+            flips += labels.iter().filter(|&&l| l).count();
+        }
+        assert!(flips > 5 && flips < 35, "flips = {flips}");
+        assert_eq!(noisy.name(), "Oracle+noise");
+    }
+
+    #[test]
+    fn zero_noise_is_transparent() {
+        let t = paper_table1();
+        let truth = vec![false, true, false, true, false];
+        let mut a = OracleTrainer::new(truth.clone(), vec![1.0, 1.0]);
+        let mut b = NoisyTrainer::new(OracleTrainer::new(truth, vec![1.0, 1.0]), 0.0, 7);
+        let sample = [0usize, 1, 2, 3];
+        assert_eq!(a.respond(&t, &sample), b.respond(&t, &sample));
+    }
+}

@@ -1,0 +1,277 @@
+//! A minimal CSV reader/writer (RFC-4180 quoting), dependency-free.
+//!
+//! The experiment harness dumps every regenerated table/figure as CSV so the
+//! results can be diffed and plotted; the same code loads user-provided
+//! datasets should someone substitute the real OMDB/Hospital files.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// Errors raised while parsing CSV text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    MissingHeader,
+    /// A record's field count differs from the header's.
+    RaggedRow {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected (header arity).
+        want: usize,
+    },
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the quote opened.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::RaggedRow { line, got, want } => {
+                write!(f, "line {line}: {got} fields, expected {want}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text (header + records) into a [`Table`].
+pub fn parse(input: &str) -> Result<Table, CsvError> {
+    let mut records = parse_records(input)?;
+    if records.is_empty() {
+        return Err(CsvError::MissingHeader);
+    }
+    let header = records.remove(0);
+    let want = header.len();
+    let schema = Schema::new(header);
+    let mut b = Table::builder(schema);
+    for (i, rec) in records.into_iter().enumerate() {
+        if rec.len() != want {
+            return Err(CsvError::RaggedRow {
+                line: i + 2,
+                got: rec.len(),
+                want,
+            });
+        }
+        b.push_row(&rec);
+    }
+    Ok(b.finish())
+}
+
+/// Splits CSV text into records of fields, honouring quoted fields with
+/// embedded commas, newlines, and doubled quotes.
+fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_line = 1usize;
+    let mut line = 1usize;
+    let mut saw_any = false;
+
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_line = line;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => { /* swallow; \n terminates */ }
+            '\n' => {
+                line += 1;
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_line });
+    }
+    if saw_any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Loads a table from a CSV file.
+///
+/// I/O failures and parse failures are both surfaced; the parse error keeps
+/// its line information.
+pub fn load_table<P: AsRef<Path>>(path: P) -> Result<Table, LoadError> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(LoadError::Io)?;
+    parse(&text).map_err(LoadError::Csv)
+}
+
+/// Writes a table to a CSV file.
+pub fn save_table<P: AsRef<Path>>(path: P, table: &Table) -> std::io::Result<()> {
+    std::fs::write(path, write(table))
+}
+
+/// Errors raised by [`load_table`].
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The contents failed to parse.
+    Csv(CsvError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io: {e}"),
+            LoadError::Csv(e) => write!(f, "csv: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Serialises a [`Table`] (header + all rows) to CSV text.
+pub fn write(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = table.schema().names().iter().map(|s| s.as_str()).collect();
+    write_record(&mut out, &names);
+    for row in 0..table.nrows() {
+        let cells = table.row_texts(row);
+        let refs: Vec<&str> = cells.iter().map(|s| s.as_str()).collect();
+        write_record(&mut out, &refs);
+    }
+    out
+}
+
+fn write_record(out: &mut String, fields: &[&str]) {
+    for (i, f) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if f.contains(',') || f.contains('"') || f.contains('\n') {
+            let escaped = f.replace('"', "\"\"");
+            let _ = write!(out, "\"{escaped}\"");
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::paper_table1;
+
+    #[test]
+    fn roundtrip_simple() {
+        let t = paper_table1();
+        let csv = write(&t);
+        let t2 = parse(&csv).unwrap();
+        assert_eq!(t2.nrows(), t.nrows());
+        for r in 0..t.nrows() {
+            assert_eq!(t.row_texts(r), t2.row_texts(r));
+        }
+    }
+
+    #[test]
+    fn quoted_fields_roundtrip() {
+        let csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"multi\nline\",plain\n";
+        let t = parse(csv).unwrap();
+        assert_eq!(t.nrows(), 2);
+        assert_eq!(t.text(0, 0), "x,y");
+        assert_eq!(t.text(0, 1), "he said \"hi\"");
+        assert_eq!(t.text(1, 0), "multi\nline");
+        let again = parse(&write(&t)).unwrap();
+        assert_eq!(again.text(1, 0), "multi\nline");
+    }
+
+    #[test]
+    fn crlf_accepted() {
+        let t = parse("a,b\r\n1,2\r\n").unwrap();
+        assert_eq!(t.nrows(), 1);
+        assert_eq!(t.text(0, 1), "2");
+    }
+
+    #[test]
+    fn missing_final_newline_ok() {
+        let t = parse("a,b\n1,2").unwrap();
+        assert_eq!(t.nrows(), 1);
+    }
+
+    #[test]
+    fn ragged_row_reported() {
+        let err = parse("a,b\n1\n").unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                line: 2,
+                got: 1,
+                want: 2
+            }
+        );
+    }
+
+    #[test]
+    fn unterminated_quote_reported() {
+        let err = parse("a,b\n\"oops,2\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_is_missing_header() {
+        assert_eq!(parse("").unwrap_err(), CsvError::MissingHeader);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = paper_table1();
+        let dir = std::env::temp_dir().join("et-data-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table1.csv");
+        save_table(&path, &t).unwrap();
+        let back = load_table(&path).unwrap();
+        assert_eq!(back.nrows(), t.nrows());
+        assert_eq!(back.row_texts(2), t.row_texts(2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_table("/nonexistent/nowhere.csv").unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)));
+    }
+}

@@ -1,0 +1,289 @@
+//! A BART-style error taxonomy (Arocena et al., PVLDB 2015).
+//!
+//! [`crate::inject`] drives violation *degrees* for the FD experiments;
+//! this module provides the error *shapes* real cleaning systems face.
+//! Each error type perturbs cells differently, which matters for
+//! downstream detectors:
+//!
+//! * [`ErrorKind::ValueSwap`] — a cell takes another existing value of its
+//!   column (plausible-looking errors; hardest to spot).
+//! * [`ErrorKind::Typo`] — character-level noise appended to the value
+//!   (fresh values; break every FD whose RHS they touch).
+//! * [`ErrorKind::Missing`] — the cell is blanked to an empty marker.
+//! * [`ErrorKind::Transposition`] — two rows swap their cell in one column
+//!   (pairwise consistent damage).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// The shape of an injected error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Replace the cell with a different existing value of the column.
+    ValueSwap,
+    /// Append typo noise, creating a fresh value.
+    Typo,
+    /// Blank the cell.
+    Missing,
+    /// Swap the cell with another row's cell in the same column.
+    Transposition,
+}
+
+impl ErrorKind {
+    /// All supported kinds.
+    pub const ALL: [ErrorKind; 4] = [
+        ErrorKind::ValueSwap,
+        ErrorKind::Typo,
+        ErrorKind::Missing,
+        ErrorKind::Transposition,
+    ];
+
+    /// Display name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::ValueSwap => "value-swap",
+            ErrorKind::Typo => "typo",
+            ErrorKind::Missing => "missing",
+            ErrorKind::Transposition => "transposition",
+        }
+    }
+}
+
+/// The marker text used for blanked cells.
+pub const MISSING_MARKER: &str = "<missing>";
+
+/// One applied error, for ground-truth bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedError {
+    /// What kind of perturbation.
+    pub kind: ErrorKind,
+    /// Affected cells as `(row, attr)` — two entries for transpositions.
+    pub cells: Vec<(usize, AttrId)>,
+}
+
+/// A configured error generator over selected attributes.
+#[derive(Debug, Clone)]
+pub struct ErrorGenerator {
+    /// Relative frequency of each error kind (must not all be zero).
+    pub weights: Vec<(ErrorKind, f64)>,
+    /// Attributes eligible for perturbation.
+    pub attrs: Vec<AttrId>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ErrorGenerator {
+    /// A generator perturbing `attrs` with uniform kind weights.
+    pub fn uniform(attrs: Vec<AttrId>, seed: u64) -> Self {
+        Self {
+            weights: ErrorKind::ALL.iter().map(|&k| (k, 1.0)).collect(),
+            attrs,
+            seed,
+        }
+    }
+
+    /// Applies `count` errors to `table`, returning the ground truth.
+    ///
+    /// # Panics
+    /// Panics when no attributes are eligible, the table has fewer than two
+    /// rows, or all weights are zero.
+    pub fn apply(&self, table: &mut Table, count: usize) -> Vec<AppliedError> {
+        assert!(!self.attrs.is_empty(), "no attributes to perturb");
+        assert!(table.nrows() >= 2, "need at least two rows");
+        let total: f64 = self.weights.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "all error-kind weights are zero");
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x94d0_49bb_1331_11eb);
+        let mut out = Vec::with_capacity(count);
+        let mut typo_counter = 0usize;
+        for _ in 0..count {
+            let kind = self.pick_kind(&mut rng, total);
+            let attr = self.attrs[rng.gen_range(0..self.attrs.len())];
+            let row = rng.gen_range(0..table.nrows());
+            let applied = match kind {
+                ErrorKind::ValueSwap => {
+                    let old = table.sym(row, attr);
+                    let card = table.dict_len(attr);
+                    if card < 2 {
+                        continue; // nothing to swap to
+                    }
+                    let mut alt = rng.gen_range(0..card) as u32;
+                    if alt == old {
+                        alt = (alt + 1) % card as u32;
+                    }
+                    let donor = (0..table.nrows()).find(|&r| table.sym(r, attr) == alt);
+                    match donor {
+                        Some(d) => {
+                            let text = table.text(d, attr).to_owned();
+                            table.set_text(row, attr, &text);
+                            AppliedError {
+                                kind,
+                                cells: vec![(row, attr)],
+                            }
+                        }
+                        None => continue,
+                    }
+                }
+                ErrorKind::Typo => {
+                    typo_counter += 1;
+                    let noisy = format!("{}~{}", table.text(row, attr), typo_counter);
+                    table.set_text(row, attr, &noisy);
+                    AppliedError {
+                        kind,
+                        cells: vec![(row, attr)],
+                    }
+                }
+                ErrorKind::Missing => {
+                    table.set_text(row, attr, MISSING_MARKER);
+                    AppliedError {
+                        kind,
+                        cells: vec![(row, attr)],
+                    }
+                }
+                ErrorKind::Transposition => {
+                    let mut other = rng.gen_range(0..table.nrows());
+                    if other == row {
+                        other = (other + 1) % table.nrows();
+                    }
+                    let a = table.text(row, attr).to_owned();
+                    let b = table.text(other, attr).to_owned();
+                    if a == b {
+                        continue; // swap would be a no-op
+                    }
+                    table.set_text(row, attr, &b);
+                    table.set_text(other, attr, &a);
+                    AppliedError {
+                        kind,
+                        cells: vec![(row, attr), (other, attr)],
+                    }
+                }
+            };
+            out.push(applied);
+        }
+        out
+    }
+
+    fn pick_kind(&self, rng: &mut StdRng, total: f64) -> ErrorKind {
+        let mut pick = rng.gen::<f64>() * total;
+        for (k, w) in &self.weights {
+            if pick < *w {
+                return *k;
+            }
+            pick -= w;
+        }
+        self.weights.last().expect("non-empty weights").0
+    }
+}
+
+/// Collects the dirty-row flags implied by a list of applied errors.
+pub fn dirty_rows_of(errors: &[AppliedError], n_rows: usize) -> Vec<bool> {
+    let mut dirty = vec![false; n_rows];
+    for e in errors {
+        for &(row, _) in &e.cells {
+            dirty[row] = true;
+        }
+    }
+    dirty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::omdb;
+
+    #[test]
+    fn applies_requested_count_of_errors() {
+        let mut ds = omdb(150, 1);
+        let gen = ErrorGenerator::uniform(vec![2, 3], 7);
+        let errors = gen.apply(&mut ds.table, 40);
+        // Some error attempts may be skipped (no-op swaps), but most land.
+        assert!(errors.len() >= 30, "only {} errors applied", errors.len());
+        let dirty = dirty_rows_of(&errors, ds.table.nrows());
+        assert!(dirty.iter().filter(|&&d| d).count() > 0);
+    }
+
+    #[test]
+    fn all_kinds_occur_under_uniform_weights() {
+        let mut ds = omdb(200, 2);
+        let gen = ErrorGenerator::uniform(vec![1, 2, 3, 4], 11);
+        let errors = gen.apply(&mut ds.table, 120);
+        for kind in ErrorKind::ALL {
+            assert!(
+                errors.iter().any(|e| e.kind == kind),
+                "{} never applied",
+                kind.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn missing_blanks_the_cell() {
+        let mut ds = omdb(50, 3);
+        let gen = ErrorGenerator {
+            weights: vec![(ErrorKind::Missing, 1.0)],
+            attrs: vec![2],
+            seed: 5,
+        };
+        let errors = gen.apply(&mut ds.table, 10);
+        for e in &errors {
+            assert_eq!(e.kind, ErrorKind::Missing);
+            let (row, attr) = e.cells[0];
+            assert_eq!(ds.table.text(row, attr), MISSING_MARKER);
+        }
+    }
+
+    #[test]
+    fn transposition_swaps_two_cells() {
+        let mut ds = omdb(80, 4);
+        let before: Vec<String> = (0..80).map(|r| ds.table.text(r, 4).to_owned()).collect();
+        let gen = ErrorGenerator {
+            weights: vec![(ErrorKind::Transposition, 1.0)],
+            attrs: vec![4],
+            seed: 9,
+        };
+        let errors = gen.apply(&mut ds.table, 15);
+        for e in &errors {
+            assert_eq!(e.cells.len(), 2);
+            let (r1, a) = e.cells[0];
+            let (r2, _) = e.cells[1];
+            assert_ne!(r1, r2);
+            let _ = a;
+        }
+        // The multiset of column values is preserved by transpositions.
+        let mut after: Vec<String> = (0..80).map(|r| ds.table.text(r, 4).to_owned()).collect();
+        let mut sorted_before = before;
+        sorted_before.sort();
+        after.sort();
+        assert_eq!(sorted_before, after);
+    }
+
+    #[test]
+    fn typo_creates_fresh_values() {
+        let mut ds = omdb(60, 6);
+        let card_before = ds.table.cardinality(3);
+        let gen = ErrorGenerator {
+            weights: vec![(ErrorKind::Typo, 1.0)],
+            attrs: vec![3],
+            seed: 13,
+        };
+        let errors = gen.apply(&mut ds.table, 10);
+        assert!(!errors.is_empty());
+        assert!(ds.table.cardinality(3) > card_before);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let run = || {
+            let mut ds = omdb(100, 5);
+            let gen = ErrorGenerator::uniform(vec![2, 4], 21);
+            let errors = gen.apply(&mut ds.table, 25);
+            (errors, ds.table.row_texts(0))
+        };
+        let (e1, r1) = run();
+        let (e2, r2) = run();
+        assert_eq!(e1, e2);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-column and per-table statistics.
+//!
+//! Data-estimate priors, generators and reports all need quick profiled
+//! facts about a table: cardinalities, value skew, null-marker counts.
+
+use std::collections::HashMap;
+
+use crate::errors::MISSING_MARKER;
+use crate::schema::AttrId;
+use crate::table::Table;
+
+/// Profile of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Attribute id.
+    pub attr: AttrId,
+    /// Distinct values in use.
+    pub cardinality: usize,
+    /// Rows carrying the most frequent value.
+    pub top_count: usize,
+    /// The most frequent value's text.
+    pub top_value: String,
+    /// Shannon entropy (nats) of the value distribution.
+    pub entropy: f64,
+    /// Rows equal to the missing marker.
+    pub missing: usize,
+}
+
+impl ColumnStats {
+    /// Fraction of rows carrying the most frequent value.
+    pub fn top_ratio(&self, n_rows: usize) -> f64 {
+        if n_rows == 0 {
+            0.0
+        } else {
+            self.top_count as f64 / n_rows as f64
+        }
+    }
+}
+
+/// Profiles one column.
+pub fn column_stats(table: &Table, attr: AttrId) -> ColumnStats {
+    let n = table.nrows();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for row in 0..n {
+        *counts.entry(table.sym(row, attr)).or_insert(0) += 1;
+    }
+    let (top_sym, top_count) = counts
+        .iter()
+        .max_by_key(|(sym, c)| (**c, std::cmp::Reverse(**sym)))
+        .map(|(s, c)| (*s, *c))
+        .unwrap_or((0, 0));
+    let top_value = if n == 0 {
+        String::new()
+    } else {
+        let row = (0..n)
+            .find(|&r| table.sym(r, attr) == top_sym)
+            .expect("top symbol occurs");
+        table.text(row, attr).to_owned()
+    };
+    let entropy = counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.ln()
+        })
+        .sum();
+    let missing = (0..n)
+        .filter(|&r| table.text(r, attr) == MISSING_MARKER)
+        .count();
+    ColumnStats {
+        attr,
+        cardinality: counts.len(),
+        top_count,
+        top_value,
+        entropy,
+        missing,
+    }
+}
+
+/// Profiles every column.
+pub fn table_stats(table: &Table) -> Vec<ColumnStats> {
+    (0..table.ncols())
+        .map(|c| column_stats(table, c as AttrId))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::paper_table1;
+
+    #[test]
+    fn profiles_paper_table() {
+        let t = paper_table1();
+        let s = column_stats(&t, 1); // Team
+        assert_eq!(s.cardinality, 3);
+        assert_eq!(s.top_count, 2); // Lakers or Bulls (tie -> deterministic pick)
+        assert!(["Lakers", "Bulls"].contains(&s.top_value.as_str()));
+        assert!(s.entropy > 0.0);
+        assert_eq!(s.missing, 0);
+        assert!((s.top_ratio(t.nrows()) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_column_has_zero_entropy() {
+        let mut b = Table::builder(crate::Schema::new(["k", "v"]));
+        for i in 0..6 {
+            b.push_row(&[format!("k{i}"), "same".to_owned()]);
+        }
+        let t = b.finish();
+        let s = column_stats(&t, 1);
+        assert_eq!(s.cardinality, 1);
+        assert_eq!(s.entropy, 0.0);
+        assert_eq!(s.top_count, 6);
+        // Key column: maximal entropy ln(6).
+        let k = column_stats(&t, 0);
+        assert!((k.entropy - 6.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_marker_counted() {
+        let mut t = paper_table1();
+        t.set_text(0, 2, crate::errors::MISSING_MARKER);
+        let s = column_stats(&t, 2);
+        assert_eq!(s.missing, 1);
+    }
+
+    #[test]
+    fn table_stats_covers_all_columns() {
+        let t = paper_table1();
+        let all = table_stats(&t);
+        assert_eq!(all.len(), 5);
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(s.attr as usize, i);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Classical FD inference: attribute-set closure, implication, and minimal
+//! covers (Armstrong's axioms, operationalised).
+//!
+//! The paper leans on implication informally ("if FD f1 is a super-set of
+//! FD f2, f2 is implied by f1"); this module provides the full machinery so
+//! learned FD sets can be normalized, deduplicated and compared
+//! semantically — e.g. when reporting what a session's belief amounts to.
+
+use crate::attrset::AttrSet;
+use crate::fd::Fd;
+
+/// The closure of `attrs` under `fds`: every attribute functionally
+/// determined by `attrs`.
+pub fn closure(attrs: AttrSet, fds: &[Fd]) -> AttrSet {
+    let mut closed = attrs;
+    loop {
+        let mut changed = false;
+        for fd in fds {
+            if fd.lhs.is_subset_of(closed) && !closed.contains(fd.rhs) {
+                closed = closed.with(fd.rhs);
+                changed = true;
+            }
+        }
+        if !changed {
+            return closed;
+        }
+    }
+}
+
+/// True when `fds ⊨ candidate` (the candidate follows from the set by
+/// Armstrong's axioms).
+pub fn implies(fds: &[Fd], candidate: &Fd) -> bool {
+    closure(candidate.lhs, fds).contains(candidate.rhs)
+}
+
+/// True when the two FD sets are semantically equivalent (each implies
+/// every member of the other).
+pub fn equivalent(a: &[Fd], b: &[Fd]) -> bool {
+    a.iter().all(|fd| implies(b, fd)) && b.iter().all(|fd| implies(a, fd))
+}
+
+/// Computes a minimal cover: a semantically equivalent FD set with no
+/// redundant FD and no redundant LHS attribute.
+///
+/// (Normalized single-attribute RHS is an invariant of [`Fd`] already.)
+pub fn minimal_cover(fds: &[Fd]) -> Vec<Fd> {
+    // 1. Left-reduce: drop extraneous LHS attributes. An attribute is
+    // extraneous when the remaining LHS already determines the RHS under
+    // the full set.
+    let mut cover: Vec<Fd> = fds.to_vec();
+    cover.sort_unstable();
+    cover.dedup();
+    let mut reduced = Vec::with_capacity(cover.len());
+    for fd in &cover {
+        let mut lhs = fd.lhs;
+        for a in fd.lhs.iter() {
+            let candidate = lhs.without(a);
+            if !candidate.is_empty() && closure(candidate, &cover).contains(fd.rhs) {
+                lhs = candidate;
+            }
+        }
+        reduced.push(Fd::new(lhs, fd.rhs));
+    }
+    reduced.sort_unstable();
+    reduced.dedup();
+
+    // 2. Right-reduce: remove each FD that the *remaining* set still
+    // implies, working on the live set so drops compound correctly.
+    let mut i = 0;
+    while i < reduced.len() {
+        let fd = reduced[i];
+        let rest: Vec<Fd> = reduced
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, f)| *f)
+            .collect();
+        if implies(&rest, &fd) {
+            reduced.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    reduced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[u16], rhs: u16) -> Fd {
+        Fd::from_attrs(lhs.iter().copied(), rhs)
+    }
+
+    #[test]
+    fn closure_follows_chains() {
+        // A -> B, B -> C: closure(A) = {A, B, C}.
+        let fds = [fd(&[0], 1), fd(&[1], 2)];
+        let c = closure(AttrSet::singleton(0), &fds);
+        assert_eq!(c.to_vec(), vec![0, 1, 2]);
+        // closure(C) = {C}.
+        let c = closure(AttrSet::singleton(2), &fds);
+        assert_eq!(c.to_vec(), vec![2]);
+    }
+
+    #[test]
+    fn implication_transitivity() {
+        let fds = [fd(&[0], 1), fd(&[1], 2)];
+        assert!(implies(&fds, &fd(&[0], 2)), "A -> C by transitivity");
+        assert!(!implies(&fds, &fd(&[2], 0)));
+        // Augmentation: AB -> C.
+        assert!(implies(&fds, &fd(&[0, 3], 2)));
+    }
+
+    #[test]
+    fn equivalence_detects_reformulations() {
+        let a = [fd(&[0], 1), fd(&[0], 2)];
+        let b = [fd(&[0], 2), fd(&[0], 1)];
+        assert!(equivalent(&a, &b));
+        let c = [fd(&[0], 1)];
+        assert!(!equivalent(&a, &c));
+    }
+
+    #[test]
+    fn cover_drops_redundant_fd() {
+        // A -> B, B -> C, A -> C: the last is implied.
+        let fds = [fd(&[0], 1), fd(&[1], 2), fd(&[0], 2)];
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&cover, &fds));
+        assert_eq!(cover.len(), 2, "{cover:?}");
+        assert!(!cover.contains(&fd(&[0], 2)));
+    }
+
+    #[test]
+    fn cover_left_reduces() {
+        // A -> B plus AB -> C: B is extraneous in AB -> C.
+        let fds = [fd(&[0], 1), fd(&[0, 1], 2)];
+        let cover = minimal_cover(&fds);
+        assert!(equivalent(&cover, &fds));
+        assert!(cover.contains(&fd(&[0], 2)), "{cover:?}");
+        assert!(!cover.iter().any(|f| f.lhs.len() > 1));
+    }
+
+    #[test]
+    fn cover_of_minimal_set_is_itself() {
+        let fds = [fd(&[0], 1), fd(&[2], 3)];
+        let mut cover = minimal_cover(&fds);
+        cover.sort_unstable();
+        let mut expect = fds.to_vec();
+        expect.sort_unstable();
+        assert_eq!(cover, expect);
+    }
+
+    #[test]
+    fn cover_dedups() {
+        let fds = [fd(&[0], 1), fd(&[0], 1)];
+        assert_eq!(minimal_cover(&fds).len(), 1);
+    }
+}

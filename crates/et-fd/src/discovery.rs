@@ -1,0 +1,196 @@
+//! Levelwise discovery of minimal approximate FDs (TANE-style).
+//!
+//! On completely clean data approximate FDs "can be learned with an
+//! unsupervised method" (Huhtala et al. 1999) — this module is that method.
+//! The workspace uses it to sanity-check generators (every constructed FD
+//! must be discovered), to seed hypothesis spaces, and as the baseline
+//! "system without supervision" against which exploratory training is
+//! motivated.
+
+use et_data::Table;
+
+use crate::attrset::AttrSet;
+use crate::fd::Fd;
+use crate::g1::{g1_of, G1};
+
+/// Configuration for [`discover`].
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Maximum LHS size explored.
+    pub max_lhs: u32,
+    /// An FD qualifies when its violation rate (violating / at-risk pairs)
+    /// is at most this threshold. `0.0` discovers exact FDs.
+    pub max_violation_rate: f64,
+    /// Minimum number of at-risk pairs for an FD to count as supported —
+    /// key-like LHSs trivially "hold" and are skipped below this floor.
+    pub min_support: u64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self {
+            max_lhs: 3,
+            max_violation_rate: 0.0,
+            min_support: 1,
+        }
+    }
+}
+
+/// A discovered minimal approximate FD with its statistics.
+#[derive(Debug, Clone)]
+pub struct DiscoveredFd {
+    /// The dependency.
+    pub fd: Fd,
+    /// Its pair statistics on the input table.
+    pub stats: G1,
+}
+
+/// Discovers all minimal, non-trivial, normalized FDs whose violation rate
+/// is at most `cfg.max_violation_rate`.
+///
+/// Levelwise search per RHS attribute: a qualifying LHS stops its branch
+/// (supersets would be non-minimal); non-qualifying LHSs are extended by
+/// one attribute. Candidates with a qualifying proper-subset LHS reached
+/// via another branch are pruned before testing.
+pub fn discover(table: &Table, cfg: &DiscoveryConfig) -> Vec<DiscoveredFd> {
+    let n_attrs = table.schema().len() as u16;
+    let mut out = Vec::new();
+    for rhs in 0..n_attrs {
+        let mut qualified: Vec<AttrSet> = Vec::new();
+        // Level 1 candidates.
+        let mut frontier: Vec<AttrSet> = (0..n_attrs)
+            .filter(|&a| a != rhs)
+            .map(AttrSet::singleton)
+            .collect();
+        let mut level = 1u32;
+        while !frontier.is_empty() && level <= cfg.max_lhs {
+            let mut next = Vec::new();
+            for lhs in frontier {
+                if qualified.iter().any(|q| q.is_proper_subset_of(lhs)) {
+                    continue; // non-minimal
+                }
+                let fd = Fd::new(lhs, rhs);
+                let stats = g1_of(table, &fd);
+                let supported = stats.lhs_pairs >= cfg.min_support;
+                if supported && stats.violation_rate() <= cfg.max_violation_rate {
+                    qualified.push(lhs);
+                    out.push(DiscoveredFd { fd, stats });
+                    continue;
+                }
+                // Extend with attributes greater than the current max to
+                // enumerate each set once.
+                let max_attr = lhs.iter().last().unwrap_or(0);
+                for a in (max_attr + 1)..n_attrs {
+                    if a != rhs {
+                        next.push(lhs.with(a));
+                    }
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::gen::{airport, omdb};
+    use et_data::{inject_errors, InjectConfig};
+
+    #[test]
+    fn discovers_generator_fds_on_clean_data() {
+        let ds = airport(200, 4);
+        let cfg = DiscoveryConfig {
+            max_lhs: 2,
+            max_violation_rate: 0.0,
+            min_support: 3,
+        };
+        let found = discover(&ds.table, &cfg);
+        for spec in &ds.exact_fds {
+            let fd = Fd::from_spec(spec);
+            let covered = found.iter().any(|d| d.fd == fd || d.fd.implies(&fd));
+            assert!(
+                covered,
+                "{} not discovered (nor implied)",
+                fd.display(ds.table.schema())
+            );
+        }
+    }
+
+    #[test]
+    fn minimality_enforced() {
+        let ds = omdb(200, 4);
+        let cfg = DiscoveryConfig {
+            max_lhs: 3,
+            max_violation_rate: 0.0,
+            min_support: 1,
+        };
+        let found = discover(&ds.table, &cfg);
+        for a in &found {
+            for b in &found {
+                if a.fd != b.fd {
+                    assert!(
+                        !a.fd.implies(&b.fd),
+                        "{} implies {} — non-minimal output",
+                        a.fd,
+                        b.fd
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tolerance_recovers_fds_after_injection() {
+        let mut ds = airport(250, 6);
+        let specs = ds.exact_fds.clone();
+        let cfg = InjectConfig::with_degree(0.08, 3);
+        let _ = inject_errors(&mut ds.table, &specs, &[], &cfg);
+        // Exact discovery now misses the scrambled FDs...
+        let exact = discover(
+            &ds.table,
+            &DiscoveryConfig {
+                max_lhs: 2,
+                max_violation_rate: 0.0,
+                min_support: 3,
+            },
+        );
+        let approx = discover(
+            &ds.table,
+            &DiscoveryConfig {
+                max_lhs: 2,
+                max_violation_rate: 0.25,
+                min_support: 3,
+            },
+        );
+        let hits = |list: &[DiscoveredFd]| {
+            specs
+                .iter()
+                .map(Fd::from_spec)
+                .filter(|fd| list.iter().any(|d| d.fd == *fd || d.fd.implies(fd)))
+                .count()
+        };
+        assert!(
+            hits(&approx) > hits(&exact) || hits(&exact) == specs.len(),
+            "approximate discovery should recover more FDs (exact {}, approx {})",
+            hits(&exact),
+            hits(&approx)
+        );
+        assert_eq!(hits(&approx), specs.len());
+    }
+
+    #[test]
+    fn respects_max_lhs() {
+        let ds = omdb(150, 2);
+        let cfg = DiscoveryConfig {
+            max_lhs: 1,
+            max_violation_rate: 0.0,
+            min_support: 1,
+        };
+        for d in discover(&ds.table, &cfg) {
+            assert_eq!(d.fd.lhs.len(), 1);
+        }
+    }
+}

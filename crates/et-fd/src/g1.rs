@@ -1,0 +1,205 @@
+//! The g1 approximation measure for FDs (Kivinen & Mannila 1992), in the
+//! scaled form the paper uses.
+//!
+//! For an FD `X -> A` over relation `r`, the paper defines
+//!
+//! ```text
+//! g1(X -> A, r) = |{(t1,t2) | t1[X] = t2[X], t1[A] ≠ t2[A]}| / |r²|
+//! ```
+//!
+//! and its Example 1 computes `g1(Team -> City) = 1/25` on the five-tuple
+//! Table 1 — one *unordered* violating pair over `n² = 25`. We match that
+//! semantics exactly ([`G1::g1`]) and additionally expose the conditional
+//! violation rate among at-risk pairs ([`G1::violation_rate`]), which is the
+//! quantity belief updates estimate.
+
+use et_data::{AttrId, Table};
+
+use crate::fd::Fd;
+
+/// Pair statistics of one FD over one table.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct G1 {
+    /// Unordered pairs agreeing on the LHS but differing on the RHS.
+    pub violating_pairs: u64,
+    /// Unordered pairs agreeing on the LHS (at-risk pairs).
+    pub lhs_pairs: u64,
+    /// Number of rows in the table.
+    pub rows: u64,
+}
+
+impl G1 {
+    /// The paper's scaled g1: unordered violating pairs / n².
+    pub fn g1(&self) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.violating_pairs as f64 / (self.rows as f64 * self.rows as f64)
+    }
+
+    /// Violating pairs as a fraction of at-risk pairs; `0` when no pair is
+    /// at risk. This conditional rate is what FP/Bayesian belief updates
+    /// estimate, and `1 - violation_rate` is the natural "confidence that
+    /// the FD holds".
+    pub fn violation_rate(&self) -> f64 {
+        if self.lhs_pairs == 0 {
+            0.0
+        } else {
+            self.violating_pairs as f64 / self.lhs_pairs as f64
+        }
+    }
+
+    /// Confidence that the FD holds: `1 - violation_rate`.
+    pub fn confidence(&self) -> f64 {
+        1.0 - self.violation_rate()
+    }
+
+    /// True when the FD holds exactly (no violating pair).
+    pub fn is_exact(&self) -> bool {
+        self.violating_pairs == 0
+    }
+}
+
+/// Computes [`G1`] for `fd` over `table` by partition refinement: group rows
+/// by the LHS projection, then count cross-RHS pairs inside each group.
+///
+/// Runs in `O(n)` hashing time plus `O(groups · distinct RHS per group)`.
+///
+/// ```
+/// use et_data::table::paper_table1;
+/// use et_fd::{g1_of, Fd};
+///
+/// let g = g1_of(&paper_table1(), &Fd::from_attrs([1], 2));
+/// assert_eq!(g.violating_pairs, 1); // the Lakers pair
+/// assert_eq!(g.lhs_pairs, 2);
+/// ```
+pub fn g1_of(table: &Table, fd: &Fd) -> G1 {
+    let lhs: Vec<AttrId> = fd.lhs_vec();
+    let grouped = table.group_by(&lhs);
+    let mut violating = 0u64;
+    let mut lhs_pairs = 0u64;
+    let mut rhs_counts: Vec<(u32, u64)> = Vec::new();
+    for group in &grouped.groups {
+        let g = group.len() as u64;
+        if g < 2 {
+            continue;
+        }
+        lhs_pairs += g * (g - 1) / 2;
+        rhs_counts.clear();
+        for &row in group {
+            let s = table.sym(row as usize, fd.rhs);
+            match rhs_counts.iter_mut().find(|(sym, _)| *sym == s) {
+                Some((_, c)) => *c += 1,
+                None => rhs_counts.push((s, 1)),
+            }
+        }
+        // Unordered cross-bucket pairs: (g² - Σc²)/2.
+        let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
+        violating += (g * g - sum_sq) / 2;
+    }
+    G1 {
+        violating_pairs: violating,
+        lhs_pairs,
+        rows: table.nrows() as u64,
+    }
+}
+
+/// Computes g1 statistics for many FDs in one call.
+pub fn g1_many(table: &Table, fds: &[Fd]) -> Vec<G1> {
+    fds.iter().map(|fd| g1_of(table, fd)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::table::paper_table1;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_example_1() {
+        // g1(Team -> City) over Table 1 is 1/25 = 0.04.
+        let t = paper_table1();
+        let fd = Fd::from_attrs([1], 2);
+        let g = g1_of(&t, &fd);
+        assert_eq!(g.violating_pairs, 1);
+        assert_eq!(g.lhs_pairs, 2); // {t1,t2} and {t3,t4}
+        assert!((g.g1() - 0.04).abs() < 1e-12);
+        assert!((g.violation_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_fd_has_zero_g1() {
+        let t = paper_table1();
+        // City,Role -> Apps: groups (Chicago,PF)={t2,t3} share Apps=4; all
+        // other groups are singletons.
+        let fd = Fd::from_attrs([2, 3], 4);
+        let g = g1_of(&t, &fd);
+        assert!(g.is_exact());
+        assert_eq!(g.lhs_pairs, 1);
+        assert_eq!(g.confidence(), 1.0);
+    }
+
+    #[test]
+    fn key_like_lhs_has_no_pairs() {
+        let t = paper_table1();
+        let fd = Fd::from_attrs([0], 1); // Player is a key
+        let g = g1_of(&t, &fd);
+        assert_eq!(g.lhs_pairs, 0);
+        assert_eq!(g.violation_rate(), 0.0);
+        assert_eq!(g.g1(), 0.0);
+    }
+
+    #[test]
+    fn g1_many_matches_individual() {
+        let t = paper_table1();
+        let fds = vec![Fd::from_attrs([1], 2), Fd::from_attrs([2, 3], 4)];
+        let all = g1_many(&t, &fds);
+        assert_eq!(all[0], g1_of(&t, &fds[0]));
+        assert_eq!(all[1], g1_of(&t, &fds[1]));
+    }
+
+    #[test]
+    fn empty_table_is_zero() {
+        let t = et_data::Table::builder(et_data::Schema::new(["a", "b"])).finish();
+        let g = g1_of(&t, &Fd::from_attrs([0], 1));
+        assert_eq!(g.g1(), 0.0);
+        assert!(g.is_exact());
+    }
+
+    /// Brute-force pair enumeration for cross-checking.
+    fn g1_brute(table: &Table, fd: &Fd) -> (u64, u64) {
+        let lhs = fd.lhs_vec();
+        let mut viol = 0;
+        let mut risk = 0;
+        for a in 0..table.nrows() {
+            for b in (a + 1)..table.nrows() {
+                if table.rows_agree_on(a, b, &lhs) {
+                    risk += 1;
+                    if table.sym(a, fd.rhs) != table.sym(b, fd.rhs) {
+                        viol += 1;
+                    }
+                }
+            }
+        }
+        (viol, risk)
+    }
+
+    proptest! {
+        #[test]
+        fn grouped_matches_bruteforce(rows in proptest::collection::vec((0u8..4, 0u8..3, 0u8..3), 0..40)) {
+            let mut b = Table::builder(et_data::Schema::new(["x", "y", "a"]));
+            for (x, y, a) in &rows {
+                b.push_row(&[format!("x{x}"), format!("y{y}"), format!("a{a}")]);
+            }
+            let t = b.finish();
+            for fd in [Fd::from_attrs([0], 2), Fd::from_attrs([0, 1], 2), Fd::from_attrs([1], 0)] {
+                let g = g1_of(&t, &fd);
+                let (viol, risk) = g1_brute(&t, &fd);
+                prop_assert_eq!(g.violating_pairs, viol);
+                prop_assert_eq!(g.lhs_pairs, risk);
+                prop_assert!(g.g1() >= 0.0 && g.g1() <= 1.0);
+                prop_assert!(g.violation_rate() >= 0.0 && g.violation_rate() <= 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Repair proposals from approximate FDs.
+//!
+//! "This learned approximate FDs can be used for detecting errors in
+//! unlabeled or future tuples" (§A.1) — and, one step further, for
+//! proposing *repairs*: within each mixed LHS group of a believed FD, the
+//! majority RHS value is the consensus and minority cells are candidates
+//! for replacement (the classic majority-vote repair of the cleaning
+//! literature the paper cites — Holoclean, Livshits et al.).
+
+use et_data::{AttrId, Table};
+
+use crate::fd::Fd;
+use crate::space::HypothesisSpace;
+
+/// One proposed cell repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repair {
+    /// Row of the suspicious cell.
+    pub row: usize,
+    /// Attribute of the suspicious cell.
+    pub attr: AttrId,
+    /// Current (suspect) value.
+    pub current: String,
+    /// Majority-consensus replacement.
+    pub suggested: String,
+    /// The FD justifying the proposal.
+    pub fd: Fd,
+    /// Supporting fraction: majority-bucket size / group size. Higher is a
+    /// stronger consensus.
+    pub support: f64,
+}
+
+/// Proposes repairs for every believed FD (`confidences[f] >=
+/// min_confidence`): minority cells in mixed groups are repaired to the
+/// group's unique majority value. Groups whose majority is tied propose
+/// nothing (no consensus).
+///
+/// Proposals are sorted by descending support, then row/attr for
+/// determinism.
+pub fn propose_repairs(
+    table: &Table,
+    space: &HypothesisSpace,
+    confidences: &[f64],
+    min_confidence: f64,
+) -> Vec<Repair> {
+    assert_eq!(
+        confidences.len(),
+        space.len(),
+        "confidence vector does not match hypothesis space"
+    );
+    let mut out = Vec::new();
+    for (fi, fd) in space.iter() {
+        if confidences[fi] < min_confidence {
+            continue;
+        }
+        let lhs: Vec<AttrId> = fd.lhs_vec();
+        let grouped = table.group_by(&lhs);
+        for group in &grouped.groups {
+            if group.len() < 2 {
+                continue;
+            }
+            let mut buckets: Vec<(u32, Vec<u32>)> = Vec::new();
+            for &row in group {
+                let s = table.sym(row as usize, fd.rhs);
+                match buckets.iter_mut().find(|(sym, _)| *sym == s) {
+                    Some((_, rows)) => rows.push(row),
+                    None => buckets.push((s, vec![row])),
+                }
+            }
+            if buckets.len() < 2 {
+                continue;
+            }
+            let max = buckets.iter().map(|(_, r)| r.len()).max().unwrap_or(0);
+            let majority: Vec<&(u32, Vec<u32>)> =
+                buckets.iter().filter(|(_, r)| r.len() == max).collect();
+            if majority.len() != 1 {
+                continue; // tie: no consensus
+            }
+            let (maj_sym, maj_rows) = majority[0];
+            let suggested = table.text(maj_rows[0] as usize, fd.rhs).to_owned();
+            let support = max as f64 / group.len() as f64;
+            for (sym, rows) in &buckets {
+                if sym == maj_sym {
+                    continue;
+                }
+                for &row in rows {
+                    out.push(Repair {
+                        row: row as usize,
+                        attr: fd.rhs,
+                        current: table.text(row as usize, fd.rhs).to_owned(),
+                        suggested: suggested.clone(),
+                        fd,
+                        support,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.support
+            .total_cmp(&a.support)
+            .then(a.row.cmp(&b.row))
+            .then(a.attr.cmp(&b.attr))
+    });
+    out
+}
+
+/// Applies repairs to the table (later proposals never overwrite earlier,
+/// higher-support ones for the same cell). Returns the number applied.
+pub fn apply_repairs(table: &mut Table, repairs: &[Repair]) -> usize {
+    let mut touched = std::collections::HashSet::new();
+    let mut applied = 0;
+    for r in repairs {
+        if touched.insert((r.row, r.attr)) {
+            table.set_text(r.row, r.attr, &r.suggested);
+            applied += 1;
+        }
+    }
+    applied
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::gen::airport;
+    use et_data::table::paper_table1;
+    use et_data::{inject_errors, InjectConfig};
+
+    #[test]
+    fn no_consensus_in_even_split() {
+        // Table 1's Lakers group splits 1-1 on City: tie, no proposal.
+        let t = paper_table1();
+        let space = HypothesisSpace::from_fds([Fd::from_attrs([1], 2)]);
+        let repairs = propose_repairs(&t, &space, &[0.99], 0.5);
+        assert!(repairs.is_empty(), "{repairs:?}");
+    }
+
+    #[test]
+    fn majority_repairs_fix_injected_errors() {
+        let mut ds = airport(250, 8);
+        let truth = ds.exact_fds.clone();
+        let clean = ds.table.clone();
+        let inj = inject_errors(
+            &mut ds.table,
+            &truth,
+            &[],
+            &InjectConfig::with_degree(0.10, 4),
+        );
+        let fds: Vec<Fd> = truth.iter().map(Fd::from_spec).collect();
+        let space = HypothesisSpace::from_fds(fds);
+        let conf = vec![0.95; space.len()];
+        let repairs = propose_repairs(&ds.table, &space, &conf, 0.5);
+        assert!(!repairs.is_empty());
+        // Most proposals should target genuinely dirty cells.
+        let on_dirty = repairs.iter().filter(|r| inj.dirty_rows[r.row]).count();
+        assert!(
+            on_dirty * 2 > repairs.len(),
+            "{on_dirty}/{} proposals on dirty rows",
+            repairs.len()
+        );
+        // Applying them should reduce the violation degree.
+        let before = et_data::violation_degree(&ds.table, &truth);
+        let mut repaired = ds.table.clone();
+        let applied = apply_repairs(&mut repaired, &repairs);
+        assert!(applied > 0);
+        let after = et_data::violation_degree(&repaired, &truth);
+        assert!(after < before, "degree {before:.3} -> {after:.3}");
+        // And many repaired cells should match the original clean values.
+        let restored = repairs
+            .iter()
+            .filter(|r| repaired.text(r.row, r.attr) == clean.text(r.row, r.attr))
+            .count();
+        assert!(
+            restored * 2 > repairs.len(),
+            "{restored}/{} restored to ground truth",
+            repairs.len()
+        );
+    }
+
+    #[test]
+    fn disbelieved_fds_propose_nothing() {
+        let mut ds = airport(150, 9);
+        let truth = ds.exact_fds.clone();
+        let _ = inject_errors(
+            &mut ds.table,
+            &truth,
+            &[],
+            &InjectConfig::with_degree(0.10, 5),
+        );
+        let fds: Vec<Fd> = truth.iter().map(Fd::from_spec).collect();
+        let space = HypothesisSpace::from_fds(fds);
+        let conf = vec![0.2; space.len()];
+        assert!(propose_repairs(&ds.table, &space, &conf, 0.5).is_empty());
+    }
+
+    #[test]
+    fn proposals_sorted_by_support() {
+        let mut ds = airport(250, 10);
+        let truth = ds.exact_fds.clone();
+        let _ = inject_errors(
+            &mut ds.table,
+            &truth,
+            &[],
+            &InjectConfig::with_degree(0.15, 6),
+        );
+        let fds: Vec<Fd> = truth.iter().map(Fd::from_spec).collect();
+        let space = HypothesisSpace::from_fds(fds);
+        let conf = vec![0.95; space.len()];
+        let repairs = propose_repairs(&ds.table, &space, &conf, 0.5);
+        for w in repairs.windows(2) {
+            assert!(w[0].support >= w[1].support);
+        }
+    }
+
+    #[test]
+    fn apply_respects_first_proposal_per_cell() {
+        let mut t = paper_table1();
+        let repairs = vec![
+            Repair {
+                row: 0,
+                attr: 2,
+                current: "L.A.".into(),
+                suggested: "Chicago".into(),
+                fd: Fd::from_attrs([1], 2),
+                support: 0.9,
+            },
+            Repair {
+                row: 0,
+                attr: 2,
+                current: "L.A.".into(),
+                suggested: "Boston".into(),
+                fd: Fd::from_attrs([1], 2),
+                support: 0.5,
+            },
+        ];
+        let applied = apply_repairs(&mut t, &repairs);
+        assert_eq!(applied, 1);
+        assert_eq!(t.text(0, 2), "Chicago");
+    }
+}

@@ -1,0 +1,262 @@
+//! Hypothesis spaces: the candidate FD sets agents hold beliefs over.
+//!
+//! The paper's empirical study fixes, per dataset, a space of 38 approximate
+//! FDs with at most four attributes each; the agents' beliefs are
+//! distributions over the confidence of every FD in this space.
+//! [`HypothesisSpace::enumerate`] builds the full normalized lattice up to a
+//! size bound; [`HypothesisSpace::capped`] reproduces the paper's setup by
+//! keeping `cap` supported candidates strided across the violation-rate
+//! spectrum plus guaranteed room for explicitly pinned FDs.
+
+use std::collections::HashMap;
+
+use et_data::Table;
+
+use crate::attrset::{subsets_up_to, AttrSet};
+use crate::fd::Fd;
+use crate::g1::g1_of;
+
+/// An immutable, indexable set of candidate FDs.
+#[derive(Debug, Clone)]
+pub struct HypothesisSpace {
+    fds: Vec<Fd>,
+    index: HashMap<Fd, usize>,
+}
+
+impl HypothesisSpace {
+    /// Builds a space from an explicit FD list (duplicates removed, order
+    /// preserved).
+    pub fn from_fds<I: IntoIterator<Item = Fd>>(fds: I) -> Self {
+        let mut list = Vec::new();
+        let mut index = HashMap::new();
+        for fd in fds {
+            if let std::collections::hash_map::Entry::Vacant(e) = index.entry(fd) {
+                e.insert(list.len());
+                list.push(fd);
+            }
+        }
+        assert!(!list.is_empty(), "hypothesis space must not be empty");
+        Self { fds: list, index }
+    }
+
+    /// Enumerates every normalized, non-trivial FD over `n_attrs` attributes
+    /// with at most `max_fd_attrs` total attributes (LHS + RHS).
+    ///
+    /// The paper uses `max_fd_attrs = 4`.
+    pub fn enumerate(n_attrs: u16, max_fd_attrs: u32) -> Self {
+        assert!(n_attrs >= 2, "need at least two attributes to form an FD");
+        assert!(max_fd_attrs >= 2, "an FD mentions at least two attributes");
+        let universe = AttrSet::from_attrs(0..n_attrs);
+        let mut fds = Vec::new();
+        for rhs in 0..n_attrs {
+            let rest = universe.without(rhs);
+            for lhs in subsets_up_to(rest, max_fd_attrs - 1) {
+                fds.push(Fd::new(lhs, rhs));
+            }
+        }
+        Self::from_fds(fds)
+    }
+
+    /// Reproduces the paper's capped hypothesis space: enumerate candidates
+    /// up to `max_fd_attrs`, drop FDs whose LHS has fewer than `min_support`
+    /// at-risk pairs on `table` (nothing to learn from), rank the remainder
+    /// by ascending violation rate, and keep `cap` FDs *strided across the
+    /// quality spectrum* — the space must contain strong, plausible and
+    /// weak hypotheses (all-near-exact spaces would make every agent's
+    /// belief trivially uniform-high and uncertainty meaningless).
+    ///
+    /// FDs in `pinned` are always included (the ground-truth targets of an
+    /// experiment must be in the space even if injection made them noisy).
+    pub fn capped(
+        table: &Table,
+        max_fd_attrs: u32,
+        cap: usize,
+        min_support: u64,
+        pinned: &[Fd],
+    ) -> Self {
+        assert!(cap >= pinned.len(), "cap too small for pinned FDs");
+        let full = Self::enumerate(table.schema().len() as u16, max_fd_attrs);
+        let mut scored: Vec<(Fd, f64)> = Vec::new();
+        for &fd in full.fds() {
+            if pinned.contains(&fd) {
+                continue;
+            }
+            let g = g1_of(table, &fd);
+            if g.lhs_pairs < min_support {
+                continue;
+            }
+            scored.push((fd, g.violation_rate()));
+        }
+        scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        let keep = cap.saturating_sub(pinned.len()).min(scored.len());
+        // Quantile striding over the violation-rate-sorted candidates.
+        let strided = (0..keep).map(|i| {
+            let pos = if keep <= 1 {
+                0
+            } else {
+                i * (scored.len() - 1) / (keep - 1)
+            };
+            scored[pos].0
+        });
+        Self::from_fds(pinned.iter().copied().chain(strided))
+    }
+
+    /// Number of FDs in the space.
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// True when the space is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// The FDs, in index order.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The FD at `idx`.
+    pub fn fd(&self, idx: usize) -> Fd {
+        self.fds[idx]
+    }
+
+    /// The index of `fd`, if present.
+    pub fn index_of(&self, fd: &Fd) -> Option<usize> {
+        self.index.get(fd).copied()
+    }
+
+    /// True when `fd` is in the space.
+    pub fn contains(&self, fd: &Fd) -> bool {
+        self.index.contains_key(fd)
+    }
+
+    /// Iterates `(index, Fd)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Fd)> + '_ {
+        self.fds.iter().copied().enumerate()
+    }
+
+    /// Indices of FDs related (subset/superset/equal) to `fd`.
+    pub fn related_to(&self, fd: &Fd) -> Vec<usize> {
+        self.iter()
+            .filter(|(_, f)| f.is_related_to(fd))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The set of attributes mentioned by any FD in the space.
+    pub fn attrs_in_use(&self) -> AttrSet {
+        self.fds
+            .iter()
+            .fold(AttrSet::EMPTY, |s, fd| s.union(fd.attrs()))
+    }
+
+    /// All LHS attribute-set / RHS combinations, deduplicated by LHS, useful
+    /// for building group indexes once per distinct LHS.
+    pub fn distinct_lhs(&self) -> Vec<AttrSet> {
+        let mut seen = Vec::new();
+        for fd in &self.fds {
+            if !seen.contains(&fd.lhs) {
+                seen.push(fd.lhs);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::gen::omdb;
+
+    #[test]
+    fn enumeration_counts() {
+        // 3 attributes, max 2 attrs per FD: each RHS has 2 singleton LHS
+        // choices -> 6 FDs.
+        let s = HypothesisSpace::enumerate(3, 2);
+        assert_eq!(s.len(), 6);
+        // max 3 attrs: each RHS also has C(2,2)=1 two-attr LHS -> 9 FDs.
+        let s = HypothesisSpace::enumerate(3, 3);
+        assert_eq!(s.len(), 9);
+    }
+
+    #[test]
+    fn enumeration_paper_scale() {
+        // Hospital: 19 attributes, FDs with <= 4 attributes:
+        // 19 * (C(18,1) + C(18,2) + C(18,3)) = 19 * 987 = 18753.
+        let s = HypothesisSpace::enumerate(19, 4);
+        assert_eq!(s.len(), 18_753);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let s = HypothesisSpace::enumerate(4, 3);
+        for (i, fd) in s.iter() {
+            assert_eq!(s.index_of(&fd), Some(i));
+            assert!(s.contains(&fd));
+        }
+        assert_eq!(s.index_of(&Fd::from_attrs([0, 1, 2], 3)), None);
+    }
+
+    #[test]
+    fn from_fds_dedups() {
+        let a = Fd::from_attrs([0], 1);
+        let b = Fd::from_attrs([1], 0);
+        let s = HypothesisSpace::from_fds([a, b, a]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.fd(0), a);
+    }
+
+    #[test]
+    fn capped_keeps_pinned_and_cap() {
+        let ds = omdb(200, 3);
+        let pinned: Vec<Fd> = ds.exact_fds.iter().map(Fd::from_spec).collect();
+        let s = HypothesisSpace::capped(&ds.table, 3, 38, 3, &pinned);
+        assert_eq!(s.len(), 38, "the paper's 38-FD space");
+        for fd in &pinned {
+            assert!(s.contains(fd), "pinned FD {fd} missing");
+        }
+    }
+
+    #[test]
+    fn capped_spans_the_quality_spectrum() {
+        let ds = omdb(200, 3);
+        let s = HypothesisSpace::capped(&ds.table, 3, 12, 3, &[]);
+        let rates: Vec<f64> = s
+            .fds()
+            .iter()
+            .map(|fd| crate::g1::g1_of(&ds.table, fd).violation_rate())
+            .collect();
+        let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = rates.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Striding keeps both near-exact and badly-violated hypotheses.
+        assert!(min <= 0.05, "best FD rate {min}");
+        assert!(max >= 0.5, "worst FD rate {max}");
+        // Every kept FD meets the support floor.
+        for fd in s.fds() {
+            assert!(crate::g1::g1_of(&ds.table, fd).lhs_pairs >= 3);
+        }
+    }
+
+    #[test]
+    fn related_to_finds_subsets_and_supersets() {
+        let s = HypothesisSpace::enumerate(4, 3);
+        let fd = Fd::from_attrs([0], 3);
+        let related = s.related_to(&fd);
+        // Related: itself, {0,1}->3, {0,2}->3.
+        assert_eq!(related.len(), 3);
+        for i in related {
+            assert!(s.fd(i).is_related_to(&fd));
+        }
+    }
+
+    #[test]
+    fn distinct_lhs_dedups() {
+        let s = HypothesisSpace::from_fds([
+            Fd::from_attrs([0], 1),
+            Fd::from_attrs([0], 2),
+            Fd::from_attrs([1], 0),
+        ]);
+        assert_eq!(s.distinct_lhs().len(), 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! Violation structure: pair relations, per-tuple flags, cell-level
+//! violations.
+//!
+//! FD violations are defined over *pairs* of tuples (paper §A.1), and the
+//! data-cleaning literature also identifies them at cell granularity
+//! (`C_v`). The exploratory-training game needs, per FD:
+//!
+//! * the relation of a presented pair to the FD ([`pair_relation`]),
+//! * whether a tuple participates in any violating pair
+//!   ([`ViolationIndex::tuple_violates`]), and
+//! * the g1 statistics ([`ViolationIndex::g1`]).
+
+use std::collections::HashSet;
+
+use et_data::{AttrId, Table};
+
+use crate::fd::Fd;
+use crate::g1::G1;
+use crate::space::HypothesisSpace;
+
+/// How a pair of tuples relates to one FD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelation {
+    /// The tuples disagree on the LHS: the FD says nothing about the pair.
+    Irrelevant,
+    /// The tuples agree on LHS and RHS: the pair supports the FD.
+    Satisfies,
+    /// The tuples agree on the LHS but differ on the RHS.
+    Violates,
+}
+
+/// Classifies the pair `(a, b)` with respect to `fd`.
+pub fn pair_relation(table: &Table, fd: &Fd, a: usize, b: usize) -> PairRelation {
+    let lhs = fd.lhs_vec();
+    if !table.rows_agree_on(a, b, &lhs) {
+        PairRelation::Irrelevant
+    } else if table.sym(a, fd.rhs) == table.sym(b, fd.rhs) {
+        PairRelation::Satisfies
+    } else {
+        PairRelation::Violates
+    }
+}
+
+/// Precomputed per-FD attribute lists for allocation-free pair-relation
+/// checks over a whole hypothesis space (the evidence-update hot path).
+#[derive(Debug, Clone)]
+pub struct SpaceRelations {
+    lhs: Vec<Vec<AttrId>>,
+    rhs: Vec<AttrId>,
+}
+
+impl SpaceRelations {
+    /// Prepares the helper for `space`.
+    pub fn new(space: &HypothesisSpace) -> Self {
+        Self {
+            lhs: space.fds().iter().map(|fd| fd.lhs_vec()).collect(),
+            rhs: space.fds().iter().map(|fd| fd.rhs).collect(),
+        }
+    }
+
+    /// Number of FDs covered.
+    pub fn len(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// True when no FDs are covered.
+    pub fn is_empty(&self) -> bool {
+        self.rhs.is_empty()
+    }
+
+    /// The relation of pair `(a, b)` to FD `fi`.
+    #[inline]
+    pub fn relation(&self, table: &Table, fi: usize, a: usize, b: usize) -> PairRelation {
+        if !table.rows_agree_on(a, b, &self.lhs[fi]) {
+            PairRelation::Irrelevant
+        } else if table.sym(a, self.rhs[fi]) == table.sym(b, self.rhs[fi]) {
+            PairRelation::Satisfies
+        } else {
+            PairRelation::Violates
+        }
+    }
+
+    /// True when the pair is relevant to (agrees on the LHS of) at least
+    /// one FD of the space.
+    pub fn relevant_to_any(&self, table: &Table, a: usize, b: usize) -> bool {
+        (0..self.len()).any(|fi| self.relation(table, fi, a, b) != PairRelation::Irrelevant)
+    }
+}
+
+/// Per-FD violation flags and statistics over a fixed table.
+///
+/// Built once per (table, hypothesis space); lookups are `O(1)`.
+#[derive(Debug, Clone)]
+pub struct ViolationIndex {
+    n_rows: usize,
+    /// Per FD: does the tuple participate in >= 1 violating pair?
+    violates: Vec<Vec<bool>>,
+    /// Per FD: is the tuple in a multi-row LHS group (any at-risk pair)?
+    relevant: Vec<Vec<bool>>,
+    /// Per FD: is the tuple's RHS value in a *minority* bucket of its mixed
+    /// group? Majority consensus is the standard FD-repair heuristic: when
+    /// a group disagrees on the RHS, the rows carrying the less-common
+    /// values are the likely errors. Ties mark every member.
+    minority: Vec<Vec<bool>>,
+    /// Per FD: pair statistics.
+    stats: Vec<G1>,
+}
+
+impl ViolationIndex {
+    /// Builds the index for every FD of `space` over `table`.
+    ///
+    /// Groups are computed once per *distinct LHS* and shared by all FDs
+    /// with that determinant.
+    pub fn build(table: &Table, space: &HypothesisSpace) -> Self {
+        let n = table.nrows();
+        let n_fds = space.len();
+        let mut violates = vec![vec![false; n]; n_fds];
+        let mut relevant = vec![vec![false; n]; n_fds];
+        let mut minority = vec![vec![false; n]; n_fds];
+        let mut stats = vec![G1::default(); n_fds];
+
+        for lhs in space.distinct_lhs() {
+            let lhs_attrs: Vec<AttrId> = lhs.to_vec();
+            let grouped = table.group_by(&lhs_attrs);
+            let fd_ids: Vec<usize> = space
+                .iter()
+                .filter(|(_, fd)| fd.lhs == lhs)
+                .map(|(i, _)| i)
+                .collect();
+            for &fi in &fd_ids {
+                let rhs = space.fd(fi).rhs;
+                let mut violating = 0u64;
+                let mut lhs_pairs = 0u64;
+                let mut rhs_counts: Vec<(u32, u64)> = Vec::new();
+                for group in &grouped.groups {
+                    let g = group.len() as u64;
+                    if g < 2 {
+                        continue;
+                    }
+                    lhs_pairs += g * (g - 1) / 2;
+                    rhs_counts.clear();
+                    for &row in group {
+                        let s = table.sym(row as usize, rhs);
+                        match rhs_counts.iter_mut().find(|(sym, _)| *sym == s) {
+                            Some((_, c)) => *c += 1,
+                            None => rhs_counts.push((s, 1)),
+                        }
+                    }
+                    let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
+                    violating += (g * g - sum_sq) / 2;
+                    let mixed = rhs_counts.len() > 1;
+                    // Majority bucket: unique largest RHS count, if any.
+                    let max_count = rhs_counts.iter().map(|(_, c)| *c).max().unwrap_or(0);
+                    let max_ties = rhs_counts.iter().filter(|(_, c)| *c == max_count).count();
+                    for &row in group {
+                        relevant[fi][row as usize] = true;
+                        if mixed {
+                            // With >= 2 buckets every tuple has a
+                            // cross-bucket partner, so all members violate.
+                            violates[fi][row as usize] = true;
+                            let s = table.sym(row as usize, rhs);
+                            let bucket = rhs_counts
+                                .iter()
+                                .find(|(sym, _)| *sym == s)
+                                .map(|(_, c)| *c)
+                                .unwrap_or(0);
+                            if bucket < max_count || max_ties > 1 {
+                                minority[fi][row as usize] = true;
+                            }
+                        }
+                    }
+                }
+                stats[fi] = G1 {
+                    violating_pairs: violating,
+                    lhs_pairs,
+                    rows: n as u64,
+                };
+            }
+        }
+
+        Self {
+            n_rows: n,
+            violates,
+            relevant,
+            minority,
+            stats,
+        }
+    }
+
+    /// Number of rows indexed.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of FDs indexed.
+    pub fn n_fds(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Does `row` participate in a violating pair of FD `fd_idx`?
+    #[inline]
+    pub fn tuple_violates(&self, fd_idx: usize, row: usize) -> bool {
+        self.violates[fd_idx][row]
+    }
+
+    /// Is `row` in a multi-row LHS group of FD `fd_idx`?
+    #[inline]
+    pub fn tuple_relevant(&self, fd_idx: usize, row: usize) -> bool {
+        self.relevant[fd_idx][row]
+    }
+
+    /// Does `row` carry a minority RHS value within a mixed group of FD
+    /// `fd_idx` (i.e. is it the likely-erroneous side of its violations)?
+    #[inline]
+    pub fn tuple_minority(&self, fd_idx: usize, row: usize) -> bool {
+        self.minority[fd_idx][row]
+    }
+
+    /// Pair statistics of FD `fd_idx`.
+    pub fn g1(&self, fd_idx: usize) -> &G1 {
+        &self.stats[fd_idx]
+    }
+
+    /// All pair statistics, FD-indexed.
+    pub fn stats(&self) -> &[G1] {
+        &self.stats
+    }
+}
+
+/// The cell-level violation set `C_v` of `fd`: for every violating pair,
+/// the LHS and RHS cells of both tuples.
+pub fn cell_violations(table: &Table, fd: &Fd) -> HashSet<(usize, AttrId)> {
+    let lhs: Vec<AttrId> = fd.lhs_vec();
+    let grouped = table.group_by(&lhs);
+    let mut cells = HashSet::new();
+    for group in &grouped.groups {
+        if group.len() < 2 {
+            continue;
+        }
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                if table.sym(a as usize, fd.rhs) != table.sym(b as usize, fd.rhs) {
+                    for row in [a as usize, b as usize] {
+                        for &at in &lhs {
+                            cells.insert((row, at));
+                        }
+                        cells.insert((row, fd.rhs));
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::table::paper_table1;
+
+    #[test]
+    fn pair_relation_paper_example() {
+        let t = paper_table1();
+        let fd = Fd::from_attrs([1], 2); // Team -> City
+        assert_eq!(pair_relation(&t, &fd, 0, 1), PairRelation::Violates);
+        assert_eq!(pair_relation(&t, &fd, 2, 3), PairRelation::Satisfies);
+        assert_eq!(pair_relation(&t, &fd, 0, 4), PairRelation::Irrelevant);
+    }
+
+    #[test]
+    fn index_flags_match_pair_relations() {
+        let t = paper_table1();
+        let space = HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2), // Team -> City
+            Fd::from_attrs([2, 3], 4),
+        ]);
+        let idx = ViolationIndex::build(&t, &space);
+        assert_eq!(idx.n_fds(), 2);
+        assert_eq!(idx.n_rows(), 5);
+        // Team -> City: t1, t2 violate; t3, t4 satisfy; t5 not relevant.
+        assert!(idx.tuple_violates(0, 0));
+        assert!(idx.tuple_violates(0, 1));
+        assert!(!idx.tuple_violates(0, 2));
+        assert!(idx.tuple_relevant(0, 2));
+        assert!(!idx.tuple_relevant(0, 4));
+        // Stats agree with g1_of.
+        assert_eq!(*idx.g1(0), crate::g1::g1_of(&t, &space.fd(0)));
+        assert_eq!(*idx.g1(1), crate::g1::g1_of(&t, &space.fd(1)));
+    }
+
+    #[test]
+    fn index_consistency_on_generated_data() {
+        let ds = et_data::gen::airport(150, 9);
+        let fds: Vec<Fd> = ds.exact_fds.iter().map(Fd::from_spec).collect();
+        let space = HypothesisSpace::from_fds(fds);
+        let idx = ViolationIndex::build(&ds.table, &space);
+        for (fi, fd) in space.iter() {
+            assert!(idx.g1(fi).is_exact(), "{} should be exact", fd);
+            for row in 0..ds.table.nrows() {
+                assert!(!idx.tuple_violates(fi, row));
+            }
+        }
+    }
+
+    #[test]
+    fn violates_implies_relevant() {
+        let mut ds = et_data::gen::omdb(200, 5);
+        let cfg = et_data::InjectConfig::with_degree(0.15, 3);
+        let _ = et_data::inject_errors(&mut ds.table, &ds.exact_fds, &[], &cfg);
+        let fds: Vec<Fd> = ds.exact_fds.iter().map(Fd::from_spec).collect();
+        let space = HypothesisSpace::from_fds(fds);
+        let idx = ViolationIndex::build(&ds.table, &space);
+        let mut any_violation = false;
+        for fi in 0..space.len() {
+            for row in 0..ds.table.nrows() {
+                if idx.tuple_violates(fi, row) {
+                    any_violation = true;
+                    assert!(idx.tuple_relevant(fi, row));
+                    // Cross-check against pairwise relation.
+                    let has_partner = (0..ds.table.nrows()).any(|other| {
+                        other != row
+                            && pair_relation(&ds.table, &space.fd(fi), row, other)
+                                == PairRelation::Violates
+                    });
+                    assert!(has_partner, "fd {fi} row {row} flagged w/o partner");
+                }
+            }
+        }
+        assert!(any_violation, "injection should create violations");
+    }
+
+    #[test]
+    fn cell_violations_cover_lhs_and_rhs() {
+        let t = paper_table1();
+        let fd = Fd::from_attrs([1], 2);
+        let cells = cell_violations(&t, &fd);
+        // Violating pair (t1, t2): Team and City cells of both rows.
+        let expect: HashSet<(usize, AttrId)> =
+            [(0, 1), (0, 2), (1, 1), (1, 2)].into_iter().collect();
+        assert_eq!(cells, expect);
+    }
+}

@@ -1,0 +1,176 @@
+//! Binary confusion matrices for dirty-tuple detection.
+//!
+//! Convention: *dirty* is the positive class, matching the paper's error-
+//! detection evaluation.
+
+/// Counts of a binary classifier's outcomes.
+///
+/// ```
+/// use et_metrics::ConfusionMatrix;
+///
+/// let m = ConfusionMatrix::from_predictions(
+///     &[true, true, false],  // predicted
+///     &[true, false, false], // actual
+/// );
+/// assert_eq!(m.precision(), 0.5);
+/// assert_eq!(m.recall(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Predicted dirty, actually dirty.
+    pub tp: u64,
+    /// Predicted dirty, actually clean.
+    pub fp: u64,
+    /// Predicted clean, actually dirty.
+    pub fn_: u64,
+    /// Predicted clean, actually clean.
+    pub tn: u64,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground truth (`true` = dirty).
+    ///
+    /// # Panics
+    /// Panics when the slices differ in length.
+    pub fn from_predictions(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(
+            predicted.len(),
+            actual.len(),
+            "prediction/ground-truth length mismatch"
+        );
+        let mut m = Self::default();
+        for (&p, &a) in predicted.iter().zip(actual) {
+            match (p, a) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fp += 1,
+                (false, true) => m.fn_ += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Adds another matrix's counts.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+        self.tn += other.tn;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision of the dirty class; `0` when nothing was predicted dirty.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Recall of the dirty class; `0` when nothing is actually dirty.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Harmonic mean of precision and recall; `0` when both are `0`.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tallies_correctly() {
+        let pred = [true, true, false, false, true];
+        let act = [true, false, true, false, true];
+        let m = ConfusionMatrix::from_predictions(&pred, &act);
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                fp: 1,
+                fn_: 1,
+                tn: 1
+            }
+        );
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let empty = ConfusionMatrix::default();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+        assert_eq!(empty.f1(), 0.0);
+        assert_eq!(empty.accuracy(), 0.0);
+        // All-clean predictions on all-clean data: no dirty class at all.
+        let m = ConfusionMatrix::from_predictions(&[false; 4], &[false; 4]);
+        assert_eq!(m.f1(), 0.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let act = [true, false, true];
+        let m = ConfusionMatrix::from_predictions(&act, &act);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = ConfusionMatrix::from_predictions(&[true], &[true]);
+        let b = ConfusionMatrix::from_predictions(&[false], &[true]);
+        a.merge(&b);
+        assert_eq!(a.tp, 1);
+        assert_eq!(a.fn_, 1);
+        assert_eq!(a.total(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn metrics_bounded(pred in proptest::collection::vec(any::<bool>(), 0..50),
+                           seed in any::<u64>()) {
+            let actual: Vec<bool> = pred.iter().enumerate()
+                .map(|(i, _)| (seed >> (i % 64)) & 1 == 1).collect();
+            let m = ConfusionMatrix::from_predictions(&pred, &actual);
+            for v in [m.precision(), m.recall(), m.f1(), m.accuracy()] {
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+            prop_assert_eq!(m.total() as usize, pred.len());
+            // F1 lies between min and max of precision/recall when defined.
+            if m.precision() > 0.0 && m.recall() > 0.0 {
+                let lo = m.precision().min(m.recall());
+                let hi = m.precision().max(m.recall());
+                prop_assert!(m.f1() >= lo - 1e-12 && m.f1() <= hi + 1e-12);
+            }
+        }
+    }
+}

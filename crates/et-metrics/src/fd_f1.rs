@@ -1,0 +1,146 @@
+//! F1 score of an FD against ground-truth clean tuples (§A.2).
+//!
+//! Let `c(f)` be the set of tuples *compliant* with FD `f` (participating
+//! in no violating pair) and `c_g` the ground-truth clean tuples. The paper
+//! defines `precision = |c(f) ∩ c_g| / |c(f)|`; its recall formula reads
+//! `|c(f)| / |c_g|`, which we take as a typo for the standard
+//! `|c(f) ∩ c_g| / |c_g|` (the printed form can exceed 1). Both are
+//! exposed; the F1 used across the workspace is the standard one.
+
+use et_data::Table;
+use et_fd::{Fd, HypothesisSpace, ViolationIndex};
+
+/// Precision/recall/F1 of one FD against ground-truth clean tuples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FdScore {
+    /// `|c(f) ∩ c_g| / |c(f)|`.
+    pub precision: f64,
+    /// Standard recall `|c(f) ∩ c_g| / |c_g|`.
+    pub recall: f64,
+    /// The paper's literal recall formula `|c(f)| / |c_g|` (may exceed 1).
+    pub recall_paper: f64,
+    /// Harmonic mean of `precision` and `recall`.
+    pub f1: f64,
+}
+
+/// Scores `fd` on `table` against ground truth `clean` (`clean[row]` =
+/// true when the row is genuinely clean).
+///
+/// # Panics
+/// Panics when `clean.len() != table.nrows()`.
+pub fn fd_f1_score(table: &Table, fd: &Fd, clean: &[bool]) -> FdScore {
+    assert_eq!(clean.len(), table.nrows(), "ground-truth length mismatch");
+    let space = HypothesisSpace::from_fds([*fd]);
+    let idx = ViolationIndex::build(table, &space);
+    let mut compliant = 0u64;
+    let mut compliant_clean = 0u64;
+    let mut clean_total = 0u64;
+    #[allow(clippy::needless_range_loop)] // `row` feeds both the index and `clean`
+    for row in 0..table.nrows() {
+        let is_compliant = !idx.tuple_violates(0, row);
+        if is_compliant {
+            compliant += 1;
+            if clean[row] {
+                compliant_clean += 1;
+            }
+        }
+        if clean[row] {
+            clean_total += 1;
+        }
+    }
+    let precision = div(compliant_clean, compliant);
+    let recall = div(compliant_clean, clean_total);
+    let recall_paper = div(compliant, clean_total);
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    FdScore {
+        precision,
+        recall,
+        recall_paper,
+        f1,
+    }
+}
+
+fn div(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        a as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use et_data::gen::omdb;
+    use et_data::table::paper_table1;
+    use et_data::{inject_errors, InjectConfig};
+
+    #[test]
+    fn paper_table_scores() {
+        let t = paper_table1();
+        let fd = Fd::from_attrs([1], 2); // Team -> City; t1, t2 violate
+                                         // Suppose t2 is the genuinely dirty tuple.
+        let clean = [true, false, true, true, true];
+        let s = fd_f1_score(&t, &fd, &clean);
+        // c(f) = {t3, t4, t5} plus t1? t1 violates (pairs with t2) -> no.
+        // c(f) = {t3, t4, t5}, all clean.
+        assert_eq!(s.precision, 1.0);
+        assert!((s.recall - 3.0 / 4.0).abs() < 1e-12);
+        assert!((s.recall_paper - 3.0 / 4.0).abs() < 1e-12);
+        assert!((s.f1 - 2.0 * 0.75 / 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_fd_scores_high_after_injection() {
+        let mut ds = omdb(250, 7);
+        let specs = ds.exact_fds.clone();
+        let inj = inject_errors(
+            &mut ds.table,
+            &specs,
+            &[],
+            &InjectConfig::with_degree(0.15, 2),
+        );
+        let clean: Vec<bool> = inj.dirty_rows.iter().map(|&d| !d).collect();
+        let true_fd = Fd::from_spec(&specs[1]); // rating -> type
+        let s = fd_f1_score(&ds.table, &true_fd, &clean);
+        // Compliant tuples of the true FD are almost all genuinely clean...
+        assert!(s.precision > 0.9, "precision {}", s.precision);
+        // ...but recall is group-structure-dependent (one dirty tuple makes
+        // its whole LHS group non-compliant), so only relative ordering
+        // against a junk FD is asserted below.
+        // A junk FD should score lower.
+        let schema = ds.table.schema();
+        let junk = Fd::from_attrs(
+            [schema.id_of("language").unwrap()],
+            schema.id_of("genre").unwrap(),
+        );
+        let junk_score = fd_f1_score(&ds.table, &junk, &clean);
+        assert!(
+            junk_score.f1 < s.f1,
+            "junk {} vs true {}",
+            junk_score.f1,
+            s.f1
+        );
+    }
+
+    #[test]
+    fn all_dirty_ground_truth() {
+        let t = paper_table1();
+        let fd = Fd::from_attrs([1], 2);
+        let s = fd_f1_score(&t, &fd, &[false; 5]);
+        assert_eq!(s.precision, 0.0);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_ground_truth_length() {
+        let t = paper_table1();
+        let _ = fd_f1_score(&t, &Fd::from_attrs([1], 2), &[true; 3]);
+    }
+}

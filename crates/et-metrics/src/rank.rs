@@ -1,0 +1,172 @@
+//! Reciprocal Rank and MRR (§A.2 "Evaluation Metric").
+//!
+//! A learning model predicts, each interaction, a ranked top-k list of FDs;
+//! if the user's declared FD sits at position `p ≤ k`, the Reciprocal Rank
+//! is `1/p` (else 0). MRR averages RR over interactions. The "+" variants
+//! also accept subset/superset FDs, discounted by the F1-score difference
+//! with the declared FD.
+
+use et_fd::Fd;
+
+/// The outcome of matching one ranked prediction list against a declared FD.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankOutcome {
+    /// 1-based position of the (possibly related) match, if any within k.
+    pub position: Option<usize>,
+    /// The credited reciprocal rank (0 when no match).
+    pub rr: f64,
+}
+
+/// Exact-match Reciprocal Rank: `1/p` when `truth` appears at 1-based
+/// position `p` within the first `k` entries of `ranked`, else 0.
+pub fn reciprocal_rank(ranked: &[Fd], truth: &Fd, k: usize) -> RankOutcome {
+    for (i, fd) in ranked.iter().take(k).enumerate() {
+        if fd == truth {
+            return RankOutcome {
+                position: Some(i + 1),
+                rr: 1.0 / (i + 1) as f64,
+            };
+        }
+    }
+    RankOutcome {
+        position: None,
+        rr: 0.0,
+    }
+}
+
+/// The "+" Reciprocal Rank: the first top-k entry that equals `truth` *or*
+/// is a subset/superset of it scores `discount/p`, where exact matches have
+/// `discount = 1` and related matches are discounted by the absolute F1
+/// difference (`discount = 1 − |f1(candidate) − f1(truth)|`).
+///
+/// `f1_of` supplies the F1 score of an FD against the ground-truth labeled
+/// data (see [`crate::fd_f1`]).
+pub fn reciprocal_rank_plus(
+    ranked: &[Fd],
+    truth: &Fd,
+    k: usize,
+    mut f1_of: impl FnMut(&Fd) -> f64,
+) -> RankOutcome {
+    for (i, fd) in ranked.iter().take(k).enumerate() {
+        if fd == truth {
+            return RankOutcome {
+                position: Some(i + 1),
+                rr: 1.0 / (i + 1) as f64,
+            };
+        }
+        if fd.is_related_to(truth) {
+            let discount = 1.0 - (f1_of(fd) - f1_of(truth)).abs();
+            return RankOutcome {
+                position: Some(i + 1),
+                rr: discount.max(0.0) / (i + 1) as f64,
+            };
+        }
+    }
+    RankOutcome {
+        position: None,
+        rr: 0.0,
+    }
+}
+
+/// Mean of reciprocal ranks over interactions; 0 for an empty slice.
+pub fn mrr(rrs: &[f64]) -> f64 {
+    if rrs.is_empty() {
+        0.0
+    } else {
+        rrs.iter().sum::<f64>() / rrs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fd(lhs: &[u16], rhs: u16) -> Fd {
+        Fd::from_attrs(lhs.iter().copied(), rhs)
+    }
+
+    #[test]
+    fn exact_rank_positions() {
+        let truth = fd(&[0], 2);
+        let ranked = vec![fd(&[1], 2), truth, fd(&[0], 1)];
+        let out = reciprocal_rank(&ranked, &truth, 5);
+        assert_eq!(out.position, Some(2));
+        assert!((out.rr - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn beyond_k_scores_zero() {
+        let truth = fd(&[0], 2);
+        let ranked = vec![fd(&[1], 2), fd(&[0], 1), truth];
+        let out = reciprocal_rank(&ranked, &truth, 2);
+        assert_eq!(out.position, None);
+        assert_eq!(out.rr, 0.0);
+    }
+
+    #[test]
+    fn plus_accepts_related_with_discount() {
+        let truth = fd(&[0], 2);
+        let superset = fd(&[0, 1], 2); // subset FD of truth per the paper
+        let ranked = vec![superset, truth];
+        // Exact match at position 2 would give 0.5; the related FD at
+        // position 1 gives the discounted 1 * (1 - |0.9 - 0.7|) = 0.8.
+        let out = reciprocal_rank_plus(&ranked, &truth, 5, |f| if *f == truth { 0.9 } else { 0.7 });
+        assert_eq!(out.position, Some(1));
+        assert!((out.rr - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plus_prefers_exact_when_first() {
+        let truth = fd(&[0], 2);
+        let ranked = vec![truth, fd(&[0, 1], 2)];
+        let out = reciprocal_rank_plus(&ranked, &truth, 5, |_| 0.5);
+        assert_eq!(out.rr, 1.0);
+    }
+
+    #[test]
+    fn plus_ignores_unrelated() {
+        let truth = fd(&[0], 2);
+        let ranked = vec![fd(&[1], 3), fd(&[1], 2)];
+        // {1} -> 2 is unrelated to {0} -> 2 (incomparable LHS).
+        let out = reciprocal_rank_plus(&ranked, &truth, 5, |_| 1.0);
+        assert_eq!(out.rr, 0.0);
+    }
+
+    #[test]
+    fn plus_discount_floors_at_zero() {
+        let truth = fd(&[0], 2);
+        let ranked = vec![fd(&[0, 1], 2)];
+        let out = reciprocal_rank_plus(&ranked, &truth, 5, |f| {
+            if *f == truth {
+                1.0
+            } else {
+                -0.5 // pathological scorer; discount clamps
+            }
+        });
+        assert!(out.rr >= 0.0);
+    }
+
+    #[test]
+    fn mrr_averages() {
+        assert_eq!(mrr(&[]), 0.0);
+        assert!((mrr(&[1.0, 0.5, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plus_never_below_exact_when_f1_equal() {
+        // With zero F1 difference (discount 1) the "+" metric only adds
+        // acceptable matches, so rr+ >= rr. (A related match ranked above
+        // the exact one with a large F1 gap can legitimately score lower.)
+        let truth = fd(&[0], 2);
+        let lists = [
+            vec![fd(&[1], 2), truth],
+            vec![fd(&[0, 1], 2), fd(&[1], 3)],
+            vec![fd(&[1], 3), fd(&[2], 3)],
+        ];
+        for ranked in &lists {
+            let exact = reciprocal_rank(ranked, &truth, 5).rr;
+            let plus = reciprocal_rank_plus(ranked, &truth, 5, |_| 0.9).rr;
+            assert!(plus >= exact - 1e-12, "{ranked:?}");
+        }
+    }
+}

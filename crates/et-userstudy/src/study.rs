@@ -1,0 +1,261 @@
+//! The study runner: the paper's protocol over simulated participants.
+//!
+//! 20 participants × 5 scenarios; per scenario each participant sees 9–15
+//! iterations of ten random tuples, marks violations, and declares their
+//! current best FD. Trajectories record everything the analyses need.
+
+use std::sync::Arc;
+
+use et_belief::{EvidenceConfig, LabeledPair};
+use et_fd::Fd;
+use et_metrics::fd_f1_score;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::participant::{LearningRule, Participant, ParticipantConfig};
+use crate::scenario::Scenario;
+
+/// Study-wide configuration; defaults follow §A.2.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// Number of participants (paper: 20).
+    pub participants: usize,
+    /// Number of participants whose internal rule is hypothesis testing
+    /// (paper: FP explained all but two participants).
+    pub ht_participants: usize,
+    /// Tuples shown per iteration (paper: 10).
+    pub sample_size: usize,
+    /// Minimum iterations per scenario (paper: 9).
+    pub min_iterations: usize,
+    /// Maximum iterations per scenario (paper: 15).
+    pub max_iterations: usize,
+    /// Rows generated per scenario dataset.
+    pub rows: usize,
+    /// Violation degree injected into each scenario dataset.
+    pub degree: f64,
+    /// Fraction of participants that answer "not sure" for their initial
+    /// belief (uniform prior).
+    pub unsure_fraction: f64,
+    /// Baseline decision noise for every participant.
+    pub decision_noise: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        Self {
+            participants: 20,
+            ht_participants: 2,
+            sample_size: 10,
+            min_iterations: 9,
+            max_iterations: 15,
+            rows: 300,
+            degree: 0.15,
+            unsure_fraction: 0.25,
+            decision_noise: 0.15,
+            seed: 0,
+        }
+    }
+}
+
+/// One iteration of one participant on one scenario.
+#[derive(Debug, Clone)]
+pub struct IterationRecord {
+    /// Rows presented.
+    pub shown_rows: Vec<usize>,
+    /// Pairwise labels the participant produced.
+    pub labeled_pairs: Vec<LabeledPair>,
+    /// The FD the participant declared most accurate.
+    pub declared: Fd,
+    /// F1 of the declared FD against ground-truth clean tuples (the measure
+    /// behind Table 3).
+    pub declared_f1: f64,
+}
+
+/// A participant's full pass over one scenario.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Participant number (0-based).
+    pub participant: usize,
+    /// Scenario id (1–5).
+    pub scenario: usize,
+    /// Whether the participant's internal rule was FP (vs HT).
+    pub fp_internal: bool,
+    /// Whether the participant declared an initial belief (vs "not sure").
+    pub declared_prior: Option<Fd>,
+    /// Per-iteration records.
+    pub iterations: Vec<IterationRecord>,
+}
+
+/// The RNG every study run derives its randomness from; exposed through
+/// [`study_dataset`] so analyses can rebuild the exact dataset a study used.
+fn master_rng(scenario: &Scenario, cfg: &StudyConfig) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed ^ (scenario.id as u64).wrapping_mul(0xa076_1d64_78bd_642f))
+}
+
+/// The exact dataset [`run_study`] materializes for `(scenario, cfg)` —
+/// the single source of truth analyses must evaluate against.
+pub fn study_dataset(scenario: &Scenario, cfg: &StudyConfig) -> crate::scenario::ScenarioData {
+    let mut master = master_rng(scenario, cfg);
+    scenario.materialize(cfg.rows, cfg.degree, master.gen())
+}
+
+/// Runs the study for one scenario, producing one trajectory per
+/// participant. Deterministic in `cfg.seed`.
+pub fn run_study(scenario: &Scenario, cfg: &StudyConfig) -> Vec<Trajectory> {
+    assert!(cfg.participants > 0);
+    assert!(cfg.ht_participants <= cfg.participants);
+    assert!(cfg.min_iterations <= cfg.max_iterations);
+    let mut master = master_rng(scenario, cfg);
+    let data = scenario.materialize(cfg.rows, cfg.degree, master.gen());
+    let clean = data.clean_rows();
+    let space = Arc::new(scenario.space());
+
+    // Which participants run hypothesis testing internally (the paper's
+    // "all but two" finding corresponds to ht_participants = 2).
+    let mut ids: Vec<usize> = (0..cfg.participants).collect();
+    ids.shuffle(&mut master);
+    let ht_set: std::collections::HashSet<usize> =
+        ids.into_iter().take(cfg.ht_participants).collect();
+
+    let mut out = Vec::with_capacity(cfg.participants);
+    for pid in 0..cfg.participants {
+        let p_seed: u64 = master.gen();
+        let mut rng = StdRng::seed_from_u64(p_seed);
+
+        // Initial belief: unsure, the alternative (plausible but wrong), or
+        // occasionally the actual target.
+        let declared_prior = if rng.gen::<f64>() < cfg.unsure_fraction {
+            None
+        } else if rng.gen::<f64>() < 0.25 {
+            Some(scenario.target_fd())
+        } else {
+            Some(scenario.alternative_fd())
+        };
+
+        let rule = if ht_set.contains(&pid) {
+            LearningRule::HypothesisTesting { tolerance: 0.8 }
+        } else {
+            LearningRule::Fp {
+                evidence: EvidenceConfig::default(),
+            }
+        };
+        let p_cfg = ParticipantConfig {
+            rule,
+            initial_belief: declared_prior,
+            // Scenario difficulty adds to the baseline decision noise
+            // (the paper's scenario-2 non-monotonicity).
+            decision_noise: (cfg.decision_noise + scenario.confusion).min(0.95),
+            seed: p_seed,
+        };
+        let mut participant = Participant::new(&p_cfg, space.clone(), &data.table);
+
+        let n_iters = rng.gen_range(cfg.min_iterations..=cfg.max_iterations);
+        let mut iterations = Vec::with_capacity(n_iters);
+        for _ in 0..n_iters {
+            let shown_rows: Vec<usize> = sample_rows(&mut rng, data.table.nrows(), cfg.sample_size);
+            let resp = participant.respond(&data.table, &shown_rows);
+            let declared_f1 = fd_f1_score(&data.table, &resp.declared, &clean).f1;
+            iterations.push(IterationRecord {
+                shown_rows,
+                labeled_pairs: resp.labeled_pairs,
+                declared: resp.declared,
+                declared_f1,
+            });
+        }
+        out.push(Trajectory {
+            participant: pid,
+            scenario: scenario.id,
+            fp_internal: !ht_set.contains(&pid),
+            declared_prior,
+            iterations,
+        });
+    }
+    out
+}
+
+/// Samples `k` distinct rows uniformly.
+fn sample_rows(rng: &mut StdRng, n: usize, k: usize) -> Vec<usize> {
+    let mut rows: Vec<usize> = (0..n).collect();
+    rows.shuffle(rng);
+    rows.truncate(k.min(n));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::scenarios;
+
+    fn quick_cfg() -> StudyConfig {
+        StudyConfig {
+            participants: 6,
+            ht_participants: 1,
+            rows: 200,
+            min_iterations: 5,
+            max_iterations: 7,
+            seed: 42,
+            ..StudyConfig::default()
+        }
+    }
+
+    #[test]
+    fn study_produces_complete_trajectories() {
+        let s = &scenarios()[4];
+        let trajs = run_study(s, &quick_cfg());
+        assert_eq!(trajs.len(), 6);
+        assert_eq!(trajs.iter().filter(|t| !t.fp_internal).count(), 1);
+        for t in &trajs {
+            assert!((5..=7).contains(&t.iterations.len()));
+            for it in &t.iterations {
+                assert_eq!(it.shown_rows.len(), 10);
+                assert!((0.0..=1.0).contains(&it.declared_f1));
+            }
+        }
+    }
+
+    #[test]
+    fn study_is_deterministic() {
+        let s = &scenarios()[0];
+        let a = run_study(s, &quick_cfg());
+        let b = run_study(s, &quick_cfg());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.iterations.len(), y.iterations.len());
+            for (ix, iy) in x.iterations.iter().zip(&y.iterations) {
+                assert_eq!(ix.declared, iy.declared);
+                assert_eq!(ix.shown_rows, iy.shown_rows);
+            }
+        }
+    }
+
+    #[test]
+    fn declared_f1_generally_improves() {
+        // FP participants should, on average, end closer to the target
+        // than they start (human learning!).
+        let s = &scenarios()[4];
+        let cfg = StudyConfig {
+            participants: 10,
+            ht_participants: 0,
+            rows: 250,
+            seed: 7,
+            ..StudyConfig::default()
+        };
+        let trajs = run_study(s, &cfg);
+        let first: f64 = trajs
+            .iter()
+            .map(|t| t.iterations[0].declared_f1)
+            .sum::<f64>()
+            / trajs.len() as f64;
+        let last: f64 = trajs
+            .iter()
+            .map(|t| t.iterations.last().unwrap().declared_f1)
+            .sum::<f64>()
+            / trajs.len() as f64;
+        assert!(
+            last >= first - 0.02,
+            "average declared F1 regressed: {first} -> {last}"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! The simulated user study: 20 annotators × 5 scenarios (paper §A).
+//!
+//! ```text
+//! cargo run --release --example user_study_sim
+//! ```
+//!
+//! Regenerates Table 3 (how much participants' declared hypotheses move
+//! between rounds) and the Figure 2 analysis (which learning model —
+//! Bayesian/FP or hypothesis testing — predicts participants' declared FDs
+//! better).
+
+use std::sync::Arc;
+
+use exploratory_training::userstudy::{
+    average_f1_change, predictor_mrr, run_study, scenarios, study_dataset, PredictorKind,
+    StudyConfig,
+};
+
+fn main() {
+    let cfg = StudyConfig {
+        seed: 20230612, // the study is deterministic per seed
+        ..StudyConfig::default()
+    };
+    println!(
+        "{} participants ({} of them hypothesis-testers), {}–{} iterations of {} tuples",
+        cfg.participants,
+        cfg.ht_participants,
+        cfg.min_iterations,
+        cfg.max_iterations,
+        cfg.sample_size
+    );
+
+    println!("\n=== Table 3: average f1-change between labeling rounds ===");
+    println!("{:<10} {:>22}", "scenario", "avg |Δf1| per round");
+    let mut studies = Vec::new();
+    for s in scenarios() {
+        let trajs = run_study(&s, &cfg);
+        println!("{:<10} {:>22.4}", s.id, average_f1_change(&trajs));
+        studies.push((s, trajs));
+    }
+    println!("(0.33 is the gap between an FD explaining 2/3 of violations and all of them)");
+
+    println!("\n=== Figure 2: MRR@5 of each learning model per scenario ===");
+    println!(
+        "{:<10} {:<20} {:>8} {:>10} {:>12}",
+        "scenario", "model", "MRR@5", "MRR@5 (+)", "predictions"
+    );
+    for (s, trajs) in &studies {
+        // The exact dataset the study generated.
+        let data = study_dataset(s, &cfg);
+        let clean = data.clean_rows();
+        let space = Arc::new(s.space());
+        for predictor in PredictorKind::ALL {
+            let r = predictor_mrr(&data.table, &space, trajs, &clean, predictor, 5);
+            println!(
+                "{:<10} {:<20} {:>8.3} {:>10.3} {:>12}",
+                s.id,
+                predictor.as_str(),
+                r.mrr_exact,
+                r.mrr_plus,
+                r.predictions
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper): the Bayesian (FP) model explains annotators better\n\
+         than hypothesis testing in most scenarios; hard scenarios (non-monotone\n\
+         learning) depress every model."
+    );
+}

@@ -1,0 +1,109 @@
+//! Empirical check of Proposition 1: the game between an FP trainer (best
+//! response labeling) and an FP learner with Stochastic Best Response
+//! converges to a stable shared state.
+
+use std::sync::Arc;
+
+use exploratory_training::belief::{build_prior, EvidenceConfig, PriorConfig, PriorSpec};
+use exploratory_training::data::gen::DatasetName;
+use exploratory_training::data::{inject_errors, InjectConfig};
+use exploratory_training::fd::{Fd, HypothesisSpace};
+use exploratory_training::game::trainer::FpTrainer;
+use exploratory_training::game::{
+    run_session, Learner, ResponseStrategy, SessionConfig, StrategyKind,
+};
+
+fn long_session(seed: u64) -> exploratory_training::game::SessionResult {
+    let mut ds = DatasetName::Omdb.generate(200, seed);
+    let truth = ds.exact_fds.clone();
+    let injection = inject_errors(
+        &mut ds.table,
+        &truth,
+        &[],
+        &InjectConfig::with_degree(0.10, seed),
+    );
+    let pinned: Vec<Fd> = truth.iter().map(Fd::from_spec).collect();
+    let space = Arc::new(HypothesisSpace::capped(&ds.table, 3, 24, 12, &pinned));
+    let prior_cfg = PriorConfig {
+        strength: 0.3,
+        ..PriorConfig::default()
+    };
+    let trainer_prior = build_prior(&PriorSpec::Random { seed }, &prior_cfg, &space, &ds.table);
+    let learner_prior = build_prior(&PriorSpec::DataEstimate, &prior_cfg, &space, &ds.table);
+    let mut trainer = FpTrainer::new(trainer_prior, EvidenceConfig::default());
+    let mut learner = Learner::new(
+        learner_prior,
+        ResponseStrategy::paper(StrategyKind::StochasticBestResponse),
+        EvidenceConfig::default(),
+        seed,
+    );
+    let cfg = SessionConfig {
+        iterations: 90,
+        eps_drift: 0.015,
+        stability_window: 8,
+        seed,
+        ..SessionConfig::default()
+    };
+    run_session(
+        &ds.table,
+        space,
+        &injection.dirty_rows,
+        cfg,
+        &mut trainer,
+        &mut learner,
+    )
+}
+
+#[test]
+fn empirical_behaviour_stabilizes() {
+    let r = long_session(17);
+    let c = &r.convergence;
+    // ε-stability: both agents' beliefs stop moving...
+    assert!(
+        c.converged(),
+        "no stable window found (tail drift {:.4})",
+        c.tail_drift
+    );
+    // ...and the empirical labeling frequency Φ_t is Cauchy.
+    assert!(
+        c.tail_phi_change < 0.02,
+        "Φ_t still moving: {:.4}",
+        c.tail_phi_change
+    );
+}
+
+#[test]
+fn beliefs_approach_each_other() {
+    let r = long_session(23);
+    let first = r.metrics[0].mae;
+    let last = r.convergence.final_mae;
+    assert!(
+        last < first * 0.8,
+        "expected substantial MAE reduction, got {first:.3} -> {last:.3}"
+    );
+    // Late-game belief movement is much smaller than early-game movement.
+    let early: f64 = r.metrics[..10]
+        .iter()
+        .map(|m| m.learner_drift + m.trainer_drift)
+        .sum();
+    let late: f64 = r.metrics[r.metrics.len() - 10..]
+        .iter()
+        .map(|m| m.learner_drift + m.trainer_drift)
+        .sum();
+    assert!(
+        late < early * 0.5,
+        "drift should decay: early {early:.3}, late {late:.3}"
+    );
+}
+
+#[test]
+fn stability_holds_across_seeds() {
+    for seed in [31, 47, 59] {
+        let r = long_session(seed);
+        assert!(
+            r.convergence.tail_drift < 0.02,
+            "seed {seed}: tail drift {:.4}",
+            r.convergence.tail_drift
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Cross-crate behavioural contracts of the trainer models: the learning
+//! annotator vs the stationary/oracle/noisy baselines the paper contrasts
+//! against.
+
+use std::sync::Arc;
+
+use exploratory_training::belief::{
+    build_prior, Belief, Beta, EvidenceConfig, HypothesisTester, PriorConfig, PriorSpec, ScoreMode,
+};
+use exploratory_training::data::gen::DatasetName;
+use exploratory_training::data::{inject_errors, InjectConfig, Table};
+use exploratory_training::fd::{Fd, HypothesisSpace};
+use exploratory_training::game::trainer::{
+    FpTrainer, HtTrainer, NoisyTrainer, OracleTrainer, StationaryTrainer, Trainer,
+};
+use exploratory_training::game::{
+    run_session, Learner, ResponseStrategy, SessionConfig, StrategyKind,
+};
+
+struct Fixture {
+    table: Table,
+    dirty: Vec<bool>,
+    space: Arc<HypothesisSpace>,
+    truth: Vec<Fd>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut ds = DatasetName::Omdb.generate(180, seed);
+    let specs = ds.exact_fds.clone();
+    let injection = inject_errors(
+        &mut ds.table,
+        &specs,
+        &[],
+        &InjectConfig::with_degree(0.12, seed),
+    );
+    let truth: Vec<Fd> = specs.iter().map(Fd::from_spec).collect();
+    let space = Arc::new(HypothesisSpace::capped(&ds.table, 3, 24, 10, &truth));
+    Fixture {
+        table: ds.table,
+        dirty: injection.dirty_rows,
+        space,
+        truth,
+    }
+}
+
+fn run_with(
+    f: &Fixture,
+    trainer: &mut dyn Trainer,
+    seed: u64,
+) -> exploratory_training::game::SessionResult {
+    let prior_cfg = PriorConfig {
+        strength: 0.3,
+        ..PriorConfig::default()
+    };
+    let learner_prior = build_prior(&PriorSpec::DataEstimate, &prior_cfg, &f.space, &f.table);
+    let mut learner = Learner::new(
+        learner_prior,
+        ResponseStrategy::paper(StrategyKind::StochasticBestResponse),
+        EvidenceConfig::default(),
+        seed,
+    );
+    run_session(
+        &f.table,
+        f.space.clone(),
+        &f.dirty,
+        SessionConfig {
+            iterations: 20,
+            seed,
+            ..SessionConfig::default()
+        },
+        trainer,
+        &mut learner,
+    )
+}
+
+#[test]
+fn fp_trainer_raises_true_fd_confidence() {
+    let f = fixture(3);
+    let prior_cfg = PriorConfig {
+        strength: 0.3,
+        ..PriorConfig::default()
+    };
+    let prior = build_prior(
+        &PriorSpec::Uniform { d: 0.5 },
+        &prior_cfg,
+        &f.space,
+        &f.table,
+    );
+    let mut trainer = FpTrainer::new(prior, EvidenceConfig::default());
+    let r = run_with(&f, &mut trainer, 3);
+    // At least one ground-truth FD should end clearly above the uniform
+    // start while the average junk FD stays lower.
+    let truth_best = f
+        .truth
+        .iter()
+        .filter_map(|fd| f.space.index_of(fd))
+        .map(|i| r.trainer_confidences[i])
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(truth_best > 0.75, "best true-FD confidence {truth_best:.2}");
+}
+
+#[test]
+fn stationary_trainer_is_immune_to_interaction() {
+    let f = fixture(5);
+    let belief = Belief::constant(f.space.clone(), Beta::from_mean_std(0.6, 0.05));
+    let mut trainer = StationaryTrainer::new(belief.clone());
+    let before = trainer.confidences();
+    let _ = run_with(&f, &mut trainer, 5);
+    assert_eq!(trainer.confidences(), before);
+}
+
+#[test]
+fn oracle_trainer_gives_learner_the_cleanest_signal() {
+    let f = fixture(7);
+    // Oracle: labels straight from ground truth.
+    let oracle_conf: Vec<f64> = f
+        .space
+        .fds()
+        .iter()
+        .map(|fd| if f.truth.contains(fd) { 0.98 } else { 0.05 })
+        .collect();
+    let mut oracle = OracleTrainer::new(f.dirty.clone(), oracle_conf);
+    let r_oracle = run_with(&f, &mut oracle, 7);
+    // A heavily noisy trainer: the same oracle with 40% label flips.
+    let oracle_conf2: Vec<f64> = f
+        .space
+        .fds()
+        .iter()
+        .map(|fd| if f.truth.contains(fd) { 0.98 } else { 0.05 })
+        .collect();
+    let mut noisy = NoisyTrainer::new(OracleTrainer::new(f.dirty.clone(), oracle_conf2), 0.4, 7);
+    let r_noisy = run_with(&f, &mut noisy, 7);
+    let f1_oracle = r_oracle.metrics.last().unwrap().learner_f1;
+    let f1_noisy = r_noisy.metrics.last().unwrap().learner_f1;
+    assert!(
+        f1_oracle >= f1_noisy,
+        "oracle labels should not be worse than 40%-flipped labels \
+         (oracle {f1_oracle:.3}, noisy {f1_noisy:.3})"
+    );
+}
+
+#[test]
+fn ht_trainer_runs_and_reports_point_belief() {
+    let f = fixture(9);
+    let tester = HypothesisTester::new(f.space.clone(), 0, 0.7, ScoreMode::DataSatisfaction);
+    let mut trainer = HtTrainer::new(tester);
+    let r = run_with(&f, &mut trainer, 9);
+    assert_eq!(r.metrics.len(), 20);
+    let conf = trainer.confidences();
+    let held = trainer.current_index();
+    assert!(conf[held] > 0.9);
+    assert_eq!(
+        conf.iter().filter(|&&c| c > 0.9).count(),
+        1,
+        "HT holds exactly one hypothesis"
+    );
+}
