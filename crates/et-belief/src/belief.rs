@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use et_fd::{Fd, HypothesisSpace};
+use et_fd::{invariant, Fd, HypothesisSpace};
 
 use crate::beta::Beta;
 
@@ -74,6 +74,9 @@ impl Belief {
     /// Acting (labeling, detecting) on the lower credible bound makes
     /// barely-evidenced hypotheses — whose posteriors are still wide —
     /// carry little weight, while well-observed FDs are hardly discounted.
+    ///
+    /// # Panics
+    /// Panics on a negative `z`.
     pub fn lower_confidence_bounds(&self, z: f64) -> Vec<f64> {
         assert!(z >= 0.0, "z must be non-negative");
         self.params
@@ -86,6 +89,10 @@ impl Belief {
     /// `failures` contradicting ones.
     pub fn observe(&mut self, idx: usize, successes: f64, failures: f64) {
         self.params[idx].observe(successes, failures);
+        invariant!(
+            (0.0..=1.0).contains(&self.params[idx].mean()),
+            "confidence for FD {idx} escaped [0, 1] after observe"
+        );
     }
 
     /// Discounts every distribution's pseudo-counts by `lambda` ∈ (0, 1] —
@@ -102,7 +109,7 @@ impl Belief {
             lambda > 0.0 && lambda <= 1.0,
             "discount factor must be in (0, 1], got {lambda}"
         );
-        if lambda == 1.0 {
+        if lambda >= 1.0 {
             return;
         }
         for p in &mut self.params {
@@ -110,6 +117,13 @@ impl Belief {
             let scaled = p.scaled(lambda);
             *p = crate::beta::Beta::new(scaled.alpha.max(0.05), scaled.beta.max(0.05));
         }
+        invariant!(
+            self.params.iter().all(|p| p.alpha > 0.0
+                && p.beta > 0.0
+                && p.alpha.is_finite()
+                && p.beta.is_finite()),
+            "discount left an improper Beta"
+        );
     }
 
     /// The `k` most-confident FDs as `(index, confidence)`, descending, ties
@@ -163,6 +177,9 @@ impl Belief {
 
     /// Largest confidence move between two snapshots of (presumably) the
     /// same agent's belief — used for stability/equilibrium detection.
+    ///
+    /// # Panics
+    /// Panics when the beliefs cover different space sizes.
     pub fn max_drift(&self, other: &Belief) -> f64 {
         assert_eq!(self.len(), other.len());
         self.params

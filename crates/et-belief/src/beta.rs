@@ -6,6 +6,7 @@
 //! [`Beta::from_mean_std`]. Bayesian/FP updating adds observed
 //! successes/failures to `α`/`β`.
 
+use et_fd::invariant;
 use rand::Rng;
 
 /// A Beta(α, β) distribution.
@@ -93,10 +94,19 @@ impl Beta {
         );
         self.alpha += successes;
         self.beta += failures;
+        invariant!(
+            self.alpha > 0.0 && self.alpha.is_finite() && self.beta > 0.0 && self.beta.is_finite(),
+            "Beta parameters left the positive finite range after observe: ({}, {})",
+            self.alpha,
+            self.beta
+        );
     }
 
     /// Scales both pseudo-counts, preserving the mean while changing the
     /// distribution's weight (used to tune prior strength in experiments).
+    ///
+    /// # Panics
+    /// Panics unless `factor` is positive.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> Self {
         assert!(factor > 0.0, "scale factor must be positive");
@@ -108,11 +118,14 @@ impl Beta {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let x = gamma_sample(self.alpha, rng);
         let y = gamma_sample(self.beta, rng);
-        if x + y == 0.0 {
-            0.5
-        } else {
-            x / (x + y)
-        }
+        // Both draws can underflow to zero for tiny shapes; fall back to the
+        // midpoint rather than dividing 0/0.
+        let out = if x + y <= 0.0 { 0.5 } else { x / (x + y) };
+        invariant!(
+            (0.0..=1.0).contains(&out),
+            "Beta sample {out} escaped [0, 1]"
+        );
+        out
     }
 }
 

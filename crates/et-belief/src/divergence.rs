@@ -177,5 +177,39 @@ mod tests {
             let rhs = x.ln() + ln_gamma(x);
             prop_assert!((lhs - rhs).abs() < 1e-8, "x = {x}: {lhs} vs {rhs}");
         }
+
+        // Log-uniform sweeps over the full supported parameter range
+        // (1e-6..1e6): the special functions and the KL built from them must
+        // stay finite everywhere, including the tiny-shape reflection branch
+        // and the asymptotic tail.
+        #[test]
+        fn ln_gamma_finite_over_range(e in -6.0f64..6.0) {
+            let x = 10f64.powf(e);
+            prop_assert!(ln_gamma(x).is_finite(), "ln_gamma({x}) = {}", ln_gamma(x));
+        }
+
+        #[test]
+        fn digamma_finite_over_range(e in -6.0f64..6.0) {
+            let x = 10f64.powf(e);
+            prop_assert!(digamma(x).is_finite(), "digamma({x}) = {}", digamma(x));
+        }
+
+        #[test]
+        fn beta_kl_finite_over_range(ea1 in -6.0f64..6.0, eb1 in -6.0f64..6.0,
+                                     ea2 in -6.0f64..6.0, eb2 in -6.0f64..6.0) {
+            let p = Beta::new(10f64.powf(ea1), 10f64.powf(eb1));
+            let q = Beta::new(10f64.powf(ea2), 10f64.powf(eb2));
+            let kl = beta_kl(&p, &q);
+            prop_assert!(kl.is_finite(), "KL({p:?} || {q:?}) = {kl}");
+            prop_assert!(kl >= -1e-6, "KL must be (numerically) non-negative: {kl}");
+        }
+
+        #[test]
+        fn belief_self_kl_is_zero(ea in -6.0f64..6.0, eb in -6.0f64..6.0) {
+            let s = space2();
+            let p = Belief::constant(s, Beta::new(10f64.powf(ea), 10f64.powf(eb)));
+            let d = belief_kl(&p, &p);
+            prop_assert!(d.abs() < 1e-8, "KL(p||p) = {d}");
+        }
     }
 }

@@ -37,6 +37,9 @@ pub struct HypothesisTester {
 
 impl HypothesisTester {
     /// Starts at `initial` (an index into `space`).
+    ///
+    /// # Panics
+    /// Panics when `initial` is not an index into `space`.
     pub fn new(
         space: Arc<HypothesisSpace>,
         initial: usize,

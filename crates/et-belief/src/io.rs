@@ -137,16 +137,17 @@ mod tests {
     }
 
     #[test]
-    fn roundtrip() {
+    fn roundtrip() -> Result<(), BeliefParseError> {
         let b = sample_belief();
         let csv = to_csv(&b);
-        let b2 = from_csv(&csv).unwrap();
+        let b2 = from_csv(&csv)?;
         assert_eq!(b2.len(), b.len());
         for i in 0..b.len() {
             assert_eq!(b2.space().fd(i), b.space().fd(i));
             assert!((b2.dist(i).alpha - b.dist(i).alpha).abs() < 1e-12);
             assert!((b2.dist(i).beta - b.dist(i).beta).abs() < 1e-12);
         }
+        Ok(())
     }
 
     #[test]

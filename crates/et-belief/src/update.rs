@@ -126,6 +126,9 @@ fn apply_labeled(
 /// exceptions" judgment. (The learner cannot use it to track the trainer's
 /// belief directly; it learns from the labels via
 /// [`update_from_labeled_pair`].)
+///
+/// # Panics
+/// Panics on a negative `weight`.
 pub fn update_from_pair_relations(
     belief: &mut Belief,
     table: &Table,

@@ -26,6 +26,9 @@ impl CandidatePool {
     /// Enumerates every pair agreeing on at least one distinct LHS of
     /// `space`; if more than `max_pairs` exist, keeps a uniform reservoir
     /// sample of `max_pairs` (deterministic in `seed`).
+    ///
+    /// # Panics
+    /// Panics when `max_pairs` is zero.
     pub fn build(table: &Table, space: &HypothesisSpace, max_pairs: usize, seed: u64) -> Self {
         assert!(max_pairs > 0, "pool must allow at least one pair");
         let mut seen: HashSet<PairExample> = HashSet::new();

@@ -250,11 +250,11 @@ mod tests {
     }
 
     #[test]
-    fn csv_roundtrip_preserves_replay() {
+    fn csv_roundtrip_preserves_replay() -> Result<(), HistoryParseError> {
         let (table, dirty, space) = fixture();
         let r = run_once(&table, &dirty, &space);
         let csv = history_to_csv(&r.history);
-        let restored = history_from_csv(&csv).unwrap();
+        let restored = history_from_csv(&csv)?;
         assert_eq!(restored.len(), r.history.len());
         let cfg = PriorConfig {
             strength: 0.3,
@@ -277,15 +277,15 @@ mod tests {
             EvidenceScope::SampleWide,
         );
         assert_eq!(a.confidences(), b.confidences());
+        Ok(())
     }
 
     #[test]
-    fn csv_rejects_malformed_records() {
+    fn csv_rejects_malformed_records() -> Result<(), HistoryParseError> {
         assert!(history_from_csv("iter,kind,a,b,label\n0,selected,1\n").is_err());
         assert!(history_from_csv("iter,kind,a,b,label\n0,weird,1,2,0\n").is_err());
         assert!(history_from_csv("iter,kind,a,b,label\n0,tuple,3,,7\n").is_err());
-        assert!(history_from_csv("iter,kind,a,b,label\n")
-            .unwrap()
-            .is_empty());
+        assert!(history_from_csv("iter,kind,a,b,label\n")?.is_empty());
+        Ok(())
     }
 }

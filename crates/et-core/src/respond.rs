@@ -19,7 +19,7 @@
 
 use et_belief::Belief;
 use et_data::Table;
-use et_fd::{binary_entropy, tuple_dirty_prob_with, DetectParams, ViolationIndex};
+use et_fd::{binary_entropy, invariant, tuple_dirty_prob_with, DetectParams, ViolationIndex};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -114,6 +114,9 @@ pub struct ResponseStrategy {
 
 impl ResponseStrategy {
     /// Builds a strategy; γ must be positive.
+    ///
+    /// # Panics
+    /// Panics when `gamma` is not positive.
     pub fn new(kind: StrategyKind, gamma: f64) -> Self {
         assert!(gamma > 0.0, "gamma must be positive, got {gamma}");
         Self {
@@ -343,6 +346,11 @@ fn softmax(scores: &[f64], gamma: f64) -> Vec<f64> {
     for v in &mut out {
         *v /= sum;
     }
+    invariant!(
+        out.is_empty()
+            || (out.iter().all(|w| *w >= 0.0) && (out.iter().sum::<f64>() - 1.0).abs() < 1e-9),
+        "softmax weights must be non-negative and sum to ~1"
+    );
     out
 }
 

@@ -379,6 +379,9 @@ fn labeled_sample_pairs(
 }
 
 /// Mean absolute error between two confidence vectors.
+///
+/// # Panics
+/// Panics when the vectors have different lengths.
 pub fn mae(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "confidence vectors must align");
     if a.is_empty() {

@@ -330,6 +330,9 @@ pub struct NoisyTrainer<T: Trainer> {
 
 impl<T: Trainer> NoisyTrainer<T> {
     /// Flips each emitted label independently with probability `flip_prob`.
+    ///
+    /// # Panics
+    /// Panics when `flip_prob` is outside `[0, 1]`.
     pub fn new(inner: T, flip_prob: f64, seed: u64) -> Self {
         assert!(
             (0.0..=1.0).contains(&flip_prob),

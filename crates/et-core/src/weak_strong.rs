@@ -90,6 +90,9 @@ impl WeakStrongResult {
 }
 
 /// Runs the escalation protocol.
+///
+/// # Panics
+/// Panics when `dirty_rows` does not have one flag per table row.
 pub fn run_weak_strong(
     table: &Table,
     space: Arc<HypothesisSpace>,

@@ -197,39 +197,43 @@ mod tests {
     use crate::table::paper_table1;
 
     #[test]
-    fn roundtrip_simple() {
+    fn roundtrip_simple() -> Result<(), CsvError> {
         let t = paper_table1();
         let csv = write(&t);
-        let t2 = parse(&csv).unwrap();
+        let t2 = parse(&csv)?;
         assert_eq!(t2.nrows(), t.nrows());
         for r in 0..t.nrows() {
             assert_eq!(t.row_texts(r), t2.row_texts(r));
         }
+        Ok(())
     }
 
     #[test]
-    fn quoted_fields_roundtrip() {
+    fn quoted_fields_roundtrip() -> Result<(), CsvError> {
         let csv = "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n\"multi\nline\",plain\n";
-        let t = parse(csv).unwrap();
+        let t = parse(csv)?;
         assert_eq!(t.nrows(), 2);
         assert_eq!(t.text(0, 0), "x,y");
         assert_eq!(t.text(0, 1), "he said \"hi\"");
         assert_eq!(t.text(1, 0), "multi\nline");
-        let again = parse(&write(&t)).unwrap();
+        let again = parse(&write(&t))?;
         assert_eq!(again.text(1, 0), "multi\nline");
+        Ok(())
     }
 
     #[test]
-    fn crlf_accepted() {
-        let t = parse("a,b\r\n1,2\r\n").unwrap();
+    fn crlf_accepted() -> Result<(), CsvError> {
+        let t = parse("a,b\r\n1,2\r\n")?;
         assert_eq!(t.nrows(), 1);
         assert_eq!(t.text(0, 1), "2");
+        Ok(())
     }
 
     #[test]
-    fn missing_final_newline_ok() {
-        let t = parse("a,b\n1,2").unwrap();
+    fn missing_final_newline_ok() -> Result<(), CsvError> {
+        let t = parse("a,b\n1,2")?;
         assert_eq!(t.nrows(), 1);
+        Ok(())
     }
 
     #[test]
@@ -257,16 +261,17 @@ mod tests {
     }
 
     #[test]
-    fn file_roundtrip() {
+    fn file_roundtrip() -> Result<(), Box<dyn std::error::Error>> {
         let t = paper_table1();
         let dir = std::env::temp_dir().join("et-data-csv-test");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir)?;
         let path = dir.join("table1.csv");
-        save_table(&path, &t).unwrap();
-        let back = load_table(&path).unwrap();
+        save_table(&path, &t)?;
+        let back = load_table(&path)?;
         assert_eq!(back.nrows(), t.nrows());
         assert_eq!(back.row_texts(2), t.row_texts(2));
         let _ = std::fs::remove_file(&path);
+        Ok(())
     }
 
     #[test]

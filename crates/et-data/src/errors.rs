@@ -173,7 +173,13 @@ impl ErrorGenerator {
             }
             pick -= w;
         }
-        self.weights.last().expect("non-empty weights").0
+        // Float drift can walk `pick` past every bucket; the last kind
+        // absorbs the remainder. `apply` guarantees positive total weight,
+        // so an empty list is unreachable — fall back to ValueSwap rather
+        // than panic.
+        self.weights
+            .last()
+            .map_or(ErrorKind::ValueSwap, |(k, _)| *k)
     }
 }
 

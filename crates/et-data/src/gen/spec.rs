@@ -56,6 +56,9 @@ pub struct AttrGen {
 
 impl AttrGen {
     /// A base (independently sampled) attribute.
+    ///
+    /// # Panics
+    /// Panics when `cardinality` is zero.
     pub fn base(name: &str, cardinality: usize, skew: f64) -> Self {
         assert!(cardinality > 0, "cardinality must be positive");
         Self {
@@ -65,6 +68,9 @@ impl AttrGen {
     }
 
     /// A derived attribute: `from -> name` holds exactly on generated data.
+    ///
+    /// # Panics
+    /// Panics when `cardinality` is zero or `from` is empty.
     pub fn derived(name: &str, from: Vec<usize>, cardinality: usize) -> Self {
         assert!(cardinality > 0, "cardinality must be positive");
         assert!(!from.is_empty(), "derived attribute needs determinants");
@@ -76,6 +82,9 @@ impl AttrGen {
 
     /// A noisily derived attribute: `from -> name` holds with roughly
     /// `1 - noise` per-row fidelity on generated data.
+    ///
+    /// # Panics
+    /// Panics when `cardinality` is zero or `from` is empty.
     pub fn noisy_derived(name: &str, from: Vec<usize>, cardinality: usize, noise: f64) -> Self {
         assert!(cardinality > 0, "cardinality must be positive");
         assert!(!from.is_empty(), "derived attribute needs determinants");
@@ -211,13 +220,13 @@ impl DatasetSpec {
                 a < attrs.len(),
                 "derived attribute references index {a} out of range"
             );
-            match state[a] {
-                2 => return,
-                1 => panic!(
-                    "cycle among derived attributes involving `{}`",
-                    attrs[a].name
-                ),
-                _ => {}
+            assert!(
+                state[a] != 1,
+                "cycle among derived attributes involving `{}`",
+                attrs[a].name
+            );
+            if state[a] == 2 {
+                return;
             }
             state[a] = 1;
             let from = match &attrs[a].kind {

@@ -198,6 +198,10 @@ pub fn violating_pairs(table: &Table, fds: &[FdSpec]) -> HashSet<(u32, u32)> {
 /// `alt_weight`), pick a clean row inside one of that FD's multi-row LHS
 /// groups, and overwrite the RHS cell with a different value. Returns the
 /// dirty-row / dirty-cell ground truth.
+///
+/// # Panics
+/// Panics when `cfg.degree` is outside `[0, 1)`, when no FDs are given, or
+/// when every FD weight is zero.
 pub fn inject_errors(
     table: &mut Table,
     targets: &[FdSpec],

@@ -49,14 +49,12 @@ pub fn column_stats(table: &Table, attr: AttrId) -> ColumnStats {
         .max_by_key(|(sym, c)| (**c, std::cmp::Reverse(**sym)))
         .map(|(s, c)| (*s, *c))
         .unwrap_or((0, 0));
-    let top_value = if n == 0 {
-        String::new()
-    } else {
-        let row = (0..n)
-            .find(|&r| table.sym(r, attr) == top_sym)
-            .expect("top symbol occurs");
-        table.text(row, attr).to_owned()
-    };
+    // The find only misses on an empty table, where the empty string is the
+    // right profile value anyway.
+    let top_value = (0..n)
+        .find(|&r| table.sym(r, attr) == top_sym)
+        .map(|row| table.text(row, attr).to_owned())
+        .unwrap_or_default();
     let entropy = counts
         .values()
         .map(|&c| {

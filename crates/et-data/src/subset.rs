@@ -73,7 +73,9 @@ pub fn select_subset_with_degree(
                 best = Some((pi, gap));
             }
         }
-        let (pi, best_gap) = best.expect("lookahead is non-empty");
+        // `pool` is non-empty here so the lookahead saw at least one
+        // candidate; bail out of the growth loop rather than panic if not.
+        let Some((pi, best_gap)) = best else { break };
         // If every candidate moves us further from the target than we are,
         // still take the best one (we must reach target_rows), unless we
         // are already close and adding only hurts.

@@ -134,6 +134,9 @@ impl ConvergenceExperiment {
     }
 
     /// Runs all methods over all seeds and aggregates.
+    ///
+    /// # Panics
+    /// Panics when `runs` is zero.
     pub fn run(&self) -> Vec<MethodRun> {
         assert!(self.runs > 0, "need at least one run");
         let mut per_method: Vec<Vec<(SessionResult, f64)>> =

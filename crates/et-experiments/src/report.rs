@@ -137,6 +137,9 @@ pub fn curves_to_csv(methods: &[MethodRun], metric: Metric) -> String {
 }
 
 /// A minimal generic ASCII table.
+///
+/// # Panics
+/// Panics when a row's width differs from the header count.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let ncols = headers.len();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

@@ -154,6 +154,9 @@ pub fn pair_dirty_probs(
 }
 
 /// [`pair_dirty_probs`] with explicit parameters.
+///
+/// # Panics
+/// Panics when `confidences` does not have one entry per FD of `space`.
 pub fn pair_dirty_probs_with(
     table: &Table,
     space: &HypothesisSpace,

@@ -97,11 +97,24 @@ pub fn g1_of(table: &Table, fd: &Fd) -> G1 {
         let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
         violating += (g * g - sum_sq) / 2;
     }
-    G1 {
+    let out = G1 {
         violating_pairs: violating,
         lhs_pairs,
         rows: table.nrows() as u64,
-    }
+    };
+    invariant!(
+        out.violating_pairs <= out.lhs_pairs,
+        "violating pairs {} exceed at-risk pairs {}",
+        out.violating_pairs,
+        out.lhs_pairs
+    );
+    invariant!(
+        (0.0..=1.0).contains(&out.g1()) && (0.0..=1.0).contains(&out.violation_rate()),
+        "g1 measures out of [0,1]: g1 {} rate {}",
+        out.g1(),
+        out.violation_rate()
+    );
+    out
 }
 
 /// Computes g1 statistics for many FDs in one call.

@@ -1,0 +1,62 @@
+//! The feature-gated runtime numeric-invariant layer.
+//!
+//! The reproduction's quantities live in tight numeric ranges — beliefs
+//! finite, confidences and g1 in `[0, 1]`, softmax weights non-negative and
+//! summing to ~1, Beta parameters positive. A violation silently corrupts a
+//! figure instead of failing a test, so hot paths assert these invariants
+//! **only** when the `invariant-checks` feature is active (tests/CI); with
+//! the feature off (release builds) the check const-folds away while the
+//! condition still type-checks, so the layer cannot rot.
+//!
+//! `et-belief` and `et-core` forward their own `invariant-checks` features
+//! here, so `cargo test --features invariant-checks` arms every layer.
+
+/// Asserts a numeric invariant when the `invariant-checks` feature of the
+/// *calling* crate is enabled; otherwise compiles to a never-taken branch
+/// that the optimiser removes.
+///
+/// Statement position only:
+///
+/// ```
+/// use et_fd::invariant;
+///
+/// let g1 = 0.04_f64;
+/// invariant!((0.0..=1.0).contains(&g1), "g1 out of range: {g1}");
+/// invariant!(g1.is_finite());
+/// ```
+#[macro_export]
+macro_rules! invariant {
+    ($cond:expr, $($arg:tt)+) => {
+        if cfg!(feature = "invariant-checks") {
+            assert!($cond, $($arg)+);
+        }
+    };
+    ($cond:expr) => {
+        $crate::invariant!($cond, "numeric invariant violated: {}", stringify!($cond));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passing_invariants_are_silent() {
+        invariant!(1.0_f64.is_finite());
+        invariant!((0.0..=1.0).contains(&0.5_f64), "conf {}", 0.5_f64);
+    }
+
+    #[cfg(feature = "invariant-checks")]
+    #[test]
+    #[should_panic(expected = "numeric invariant violated")]
+    fn armed_invariant_panics_on_violation() {
+        invariant!(f64::NAN.is_finite());
+    }
+
+    #[cfg(not(feature = "invariant-checks"))]
+    #[test]
+    fn disarmed_invariant_is_inert() {
+        // With the feature off the condition is type-checked but never
+        // evaluated at runtime behind a `cfg!` false branch.
+        invariant!(f64::NAN.is_finite());
+        invariant!(false, "would fire if armed");
+    }
+}

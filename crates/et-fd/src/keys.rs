@@ -23,6 +23,9 @@ pub struct Ucc {
 
 /// Discovers all minimal attribute sets of size at most `max_attrs` whose
 /// duplication error is at most `epsilon` (0 finds exact keys).
+///
+/// # Panics
+/// Panics on a negative `epsilon`.
 pub fn discover_keys(table: &Table, max_attrs: u32, epsilon: f64) -> Vec<Ucc> {
     assert!(epsilon >= 0.0);
     let n_attrs = table.schema().len() as u16;

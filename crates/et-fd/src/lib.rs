@@ -23,6 +23,8 @@
 
 pub mod attrset;
 pub mod cover;
+#[macro_use]
+pub mod invariant;
 pub mod detect;
 pub mod discovery;
 pub mod fd;

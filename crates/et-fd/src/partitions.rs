@@ -92,6 +92,9 @@ impl StrippedPartition {
 
     /// The partition product `self · other`: rows equivalent under *both*
     /// partitions. Linear-time TANE product using a scratch table.
+    ///
+    /// # Panics
+    /// Panics when the partitions cover different row counts.
     pub fn product(&self, other: &StrippedPartition) -> StrippedPartition {
         assert_eq!(
             self.n_rows, other.n_rows,
@@ -170,6 +173,9 @@ pub struct TaneFd {
 /// Candidates with a qualifying proper-subset LHS are pruned (minimality);
 /// key-like LHSs (empty stripped partition) are skipped — every FD from a
 /// key is trivially exact and uninformative.
+///
+/// # Panics
+/// Panics on a negative `epsilon`.
 pub fn discover_tane(table: &Table, max_lhs: u32, epsilon: f64) -> Vec<TaneFd> {
     assert!(epsilon >= 0.0, "epsilon must be non-negative");
     let n_attrs = table.schema().len() as u16;

@@ -37,6 +37,9 @@ pub struct Repair {
 ///
 /// Proposals are sorted by descending support, then row/attr for
 /// determinism.
+///
+/// # Panics
+/// Panics when `confidences` does not have one entry per FD of `space`.
 pub fn propose_repairs(
     table: &Table,
     space: &HypothesisSpace,

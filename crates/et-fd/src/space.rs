@@ -26,6 +26,9 @@ pub struct HypothesisSpace {
 impl HypothesisSpace {
     /// Builds a space from an explicit FD list (duplicates removed, order
     /// preserved).
+    ///
+    /// # Panics
+    /// Panics on an empty FD list.
     pub fn from_fds<I: IntoIterator<Item = Fd>>(fds: I) -> Self {
         let mut list = Vec::new();
         let mut index = HashMap::new();
@@ -43,6 +46,9 @@ impl HypothesisSpace {
     /// with at most `max_fd_attrs` total attributes (LHS + RHS).
     ///
     /// The paper uses `max_fd_attrs = 4`.
+    ///
+    /// # Panics
+    /// Panics unless `n_attrs >= 2` and `max_fd_attrs >= 2`.
     pub fn enumerate(n_attrs: u16, max_fd_attrs: u32) -> Self {
         assert!(n_attrs >= 2, "need at least two attributes to form an FD");
         assert!(max_fd_attrs >= 2, "an FD mentions at least two attributes");
@@ -67,6 +73,9 @@ impl HypothesisSpace {
     ///
     /// FDs in `pinned` are always included (the ground-truth targets of an
     /// experiment must be in the space even if injection made them noisy).
+    ///
+    /// # Panics
+    /// Panics when `cap` is smaller than the number of pinned FDs.
     pub fn capped(
         table: &Table,
         max_fd_attrs: u32,

@@ -1,0 +1,269 @@
+//! The `et-lint.toml` allowlist: vetted exceptions to the L-rules.
+//!
+//! The file is a sequence of `[[allow]]` tables; only the TOML subset below
+//! is parsed (std-only, no TOML dependency):
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "L1"                       # required: L1 | L2 | L3 | L4
+//! path = "crates/et-data/src/x.rs"  # required: repo-relative, '/'-separated
+//! pattern = "best.expect"           # optional: substring of offending line
+//! line = 76                         # optional: exact 1-based line
+//! reason = "why this is sound"      # required, non-empty
+//! ```
+//!
+//! An entry matches a violation when the rule matches, the violation's path
+//! ends with `path`, and every provided narrowing field matches. Unused
+//! entries are reported so the allowlist cannot rot silently.
+
+use crate::rules::Violation;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the exception applies to ("L1".."L4").
+    pub rule: String,
+    /// Repo-relative path suffix.
+    pub path: String,
+    /// Optional substring the offending line must contain.
+    pub pattern: Option<String>,
+    /// Optional exact line number.
+    pub line: Option<usize>,
+    /// Mandatory justification.
+    pub reason: String,
+}
+
+/// The parsed allowlist.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// All entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+/// A parse failure with its line number.
+#[derive(Debug)]
+pub struct AllowlistError {
+    /// 1-based line in `et-lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for AllowlistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "et-lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl Allowlist {
+    /// Parses the allowlist text.
+    pub fn parse(text: &str) -> Result<Self, AllowlistError> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(usize, PartialEntry)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some((at, partial)) = current.take() {
+                    entries.push(partial.finish(at)?);
+                }
+                current = Some((line_no, PartialEntry::default()));
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let Some((_, partial)) = current.as_mut() else {
+                return Err(AllowlistError {
+                    line: line_no,
+                    message: "key outside any [[allow]] table".into(),
+                });
+            };
+            partial.set(key.trim(), value.trim(), line_no)?;
+        }
+        if let Some((at, partial)) = current.take() {
+            entries.push(partial.finish(at)?);
+        }
+        Ok(Self { entries })
+    }
+
+    /// Indices of entries matching `v` in `path` (forward-slash normalised).
+    pub fn matches(&self, path: &str, v: &Violation) -> Vec<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| {
+                e.rule == v.rule.id()
+                    && path.ends_with(e.path.as_str())
+                    && e.line.is_none_or(|l| l == v.line)
+                    && e.pattern.as_ref().is_none_or(|p| v.excerpt.contains(p))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // A '#' outside quotes starts a comment.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[derive(Debug, Default)]
+struct PartialEntry {
+    rule: Option<String>,
+    path: Option<String>,
+    pattern: Option<String>,
+    line: Option<usize>,
+    reason: Option<String>,
+}
+
+impl PartialEntry {
+    fn set(&mut self, key: &str, value: &str, line_no: usize) -> Result<(), AllowlistError> {
+        let err = |message: String| AllowlistError {
+            line: line_no,
+            message,
+        };
+        match key {
+            "rule" => {
+                let v = unquote(value).ok_or_else(|| err("rule must be a string".into()))?;
+                if !matches!(v.as_str(), "L1" | "L2" | "L3" | "L4") {
+                    return Err(err(format!("unknown rule `{v}`")));
+                }
+                self.rule = Some(v);
+            }
+            "path" => {
+                self.path =
+                    Some(unquote(value).ok_or_else(|| err("path must be a string".into()))?);
+            }
+            "pattern" => {
+                self.pattern =
+                    Some(unquote(value).ok_or_else(|| err("pattern must be a string".into()))?);
+            }
+            "reason" => {
+                let v = unquote(value).ok_or_else(|| err("reason must be a string".into()))?;
+                if v.trim().is_empty() {
+                    return Err(err("reason must not be empty".into()));
+                }
+                self.reason = Some(v);
+            }
+            "line" => {
+                self.line = Some(
+                    value
+                        .parse::<usize>()
+                        .map_err(|e| err(format!("line must be an integer: {e}")))?,
+                );
+            }
+            other => return Err(err(format!("unknown key `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn finish(self, table_line: usize) -> Result<AllowEntry, AllowlistError> {
+        let err = |message: &str| AllowlistError {
+            line: table_line,
+            message: message.into(),
+        };
+        Ok(AllowEntry {
+            rule: self.rule.ok_or_else(|| err("missing `rule`"))?,
+            path: self.path.ok_or_else(|| err("missing `path`"))?,
+            pattern: self.pattern,
+            line: self.line,
+            reason: self.reason.ok_or_else(|| err("missing `reason`"))?,
+        })
+    }
+}
+
+fn unquote(value: &str) -> Option<String> {
+    let v = value.trim();
+    if v.len() >= 2 && v.starts_with('"') && v.ends_with('"') {
+        Some(v[1..v.len() - 1].to_string())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Rule, Violation};
+
+    fn violation(rule: Rule, line: usize, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            line,
+            message: String::new(),
+            excerpt: excerpt.into(),
+        }
+    }
+
+    #[test]
+    fn parses_full_and_minimal_entries() {
+        let text = r#"
+# exceptions vetted in PR review
+[[allow]]
+rule = "L1"
+path = "crates/et-data/src/subset.rs"
+pattern = "best.expect"
+reason = "lookahead pool is structurally non-empty"
+
+[[allow]]
+rule = "L4"                     # trailing comment
+path = "crates/et-core/src/x.rs"
+line = 12
+reason = "doc inherited from trait"
+"#;
+        let list = Allowlist::parse(text).expect("parses");
+        assert_eq!(list.entries.len(), 2);
+        assert_eq!(list.entries[0].rule, "L1");
+        assert_eq!(list.entries[0].pattern.as_deref(), Some("best.expect"));
+        assert_eq!(list.entries[1].line, Some(12));
+    }
+
+    #[test]
+    fn rejects_malformed_entries() {
+        assert!(Allowlist::parse("[[allow]]\nrule = \"L9\"\n").is_err());
+        assert!(
+            Allowlist::parse("[[allow]]\nrule = \"L1\"\n").is_err(),
+            "missing path/reason"
+        );
+        assert!(
+            Allowlist::parse("rule = \"L1\"\n").is_err(),
+            "key outside table"
+        );
+        assert!(
+            Allowlist::parse("[[allow]]\nrule = \"L1\"\npath = \"x\"\nreason = \"\"\n").is_err()
+        );
+        assert!(Allowlist::parse("[[allow]]\nwhat = 3\n").is_err());
+    }
+
+    #[test]
+    fn matching_honours_all_narrowing_fields() {
+        let text = "[[allow]]\nrule = \"L1\"\npath = \"src/a.rs\"\npattern = \"expect\"\nreason = \"ok\"\n";
+        let list = Allowlist::parse(text).expect("parses");
+        let hit = violation(Rule::L1, 5, "x.expect(\"y\")");
+        assert_eq!(list.matches("crates/c/src/a.rs", &hit).len(), 1);
+        // Wrong rule, wrong path, wrong pattern.
+        assert!(list
+            .matches("crates/c/src/a.rs", &violation(Rule::L2, 5, "x.expect(1)"))
+            .is_empty());
+        assert!(list.matches("crates/c/src/b.rs", &hit).is_empty());
+        assert!(list
+            .matches("crates/c/src/a.rs", &violation(Rule::L1, 5, "clean line"))
+            .is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! `et-lint`: the workspace's repo-specific static-analysis engine.
+//!
+//! The reproduction's claims — convergence of (FP, Stochastic Best) per
+//! Proposition 1, g1 violation measures, Beta-belief updates — are floating-
+//! point and RNG-sensitive: a silent NaN, an unseeded RNG, or a stray
+//! `unwrap()` corrupts a figure rather than crashing a test. This crate
+//! walks every workspace `.rs` source with a line/token scanner and enforces
+//! four rules the compiler cannot express:
+//!
+//! - **L1** — no `unwrap()`/`expect()`/`panic!` in non-`#[cfg(test)]`
+//!   library code.
+//! - **L2** — no unseeded RNG (`thread_rng`, `from_entropy`, `rand::random`)
+//!   anywhere, tests included.
+//! - **L3** — no direct `==`/`!=` against f64 expressions outside tests.
+//! - **L4** — every `pub fn` that can panic (assert family, `panic!`) must
+//!   carry a `# Panics` doc section.
+//!
+//! Vetted exceptions live in `et-lint.toml` at the repo root (see
+//! [`allowlist`]). Exit codes: 0 clean, 1 violations, 2 configuration/IO
+//! error.
+
+pub mod allowlist;
+pub mod mask;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+use allowlist::Allowlist;
+use rules::{FileKind, Rule, Violation};
+
+/// A violation bound to the file it occurred in.
+#[derive(Debug)]
+pub struct Finding {
+    /// Repo-relative, '/'-separated path.
+    pub path: String,
+    /// The underlying rule violation.
+    pub violation: Violation,
+}
+
+/// Outcome of a full workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations not covered by the allowlist.
+    pub findings: Vec<Finding>,
+    /// Violations suppressed by an allowlist entry.
+    pub suppressed: usize,
+    /// Indices of allowlist entries that never matched anything.
+    pub stale_allows: Vec<usize>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing to complain about.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale_allows.is_empty()
+    }
+}
+
+/// A fatal engine error (bad allowlist, unreadable tree).
+#[derive(Debug)]
+pub enum EngineError {
+    /// The allowlist failed to parse.
+    Allowlist(allowlist::AllowlistError),
+    /// A filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Allowlist(e) => write!(f, "{e}"),
+            EngineError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Runs the engine over the workspace rooted at `root`.
+///
+/// Scans `src/`, `tests/`, `examples/` at the root and `src/`, `tests/`,
+/// `benches/` of every crate under `crates/`. The `vendor/` tree (offline
+/// dependency shims that deliberately mirror foreign APIs) and `target/` are
+/// never scanned.
+pub fn run(root: &Path) -> Result<Report, EngineError> {
+    let allow_text = match std::fs::read_to_string(root.join("et-lint.toml")) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => {
+            return Err(EngineError::Io {
+                path: root.join("et-lint.toml"),
+                source: e,
+            })
+        }
+    };
+    let allowlist = Allowlist::parse(&allow_text).map_err(EngineError::Allowlist)?;
+
+    let mut files: Vec<(PathBuf, FileKind)> = Vec::new();
+    for (dir, kind) in [
+        ("src", FileKind::Library),
+        ("tests", FileKind::TestLike),
+        ("examples", FileKind::TestLike),
+    ] {
+        collect_rs(&root.join(dir), kind, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries = std::fs::read_dir(&crates_dir).map_err(|e| EngineError::Io {
+            path: crates_dir.clone(),
+            source: e,
+        })?;
+        let mut crate_dirs: Vec<PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_dirs.sort();
+        for crate_dir in crate_dirs {
+            collect_rs(&crate_dir.join("src"), FileKind::Library, &mut files)?;
+            collect_rs(&crate_dir.join("tests"), FileKind::TestLike, &mut files)?;
+            collect_rs(&crate_dir.join("benches"), FileKind::TestLike, &mut files)?;
+        }
+    }
+
+    let mut report = Report::default();
+    let mut used = vec![false; allowlist.entries.len()];
+    for (path, kind) in files {
+        let text = std::fs::read_to_string(&path).map_err(|e| EngineError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        report.files_scanned += 1;
+        let rel = rel_path(root, &path);
+        let masked = mask::mask(&text);
+        // Binaries under src/bin drive I/O and may report errors however
+        // they like, but they share the library's numeric discipline.
+        let effective_kind = kind;
+        for violation in rules::check_file(&masked, &text, effective_kind) {
+            let matched = allowlist.matches(&rel, &violation);
+            if matched.is_empty() {
+                report.findings.push(Finding {
+                    path: rel.clone(),
+                    violation,
+                });
+            } else {
+                for m in matched {
+                    used[m] = true;
+                }
+                report.suppressed += 1;
+            }
+        }
+    }
+    report.stale_allows = used
+        .iter()
+        .enumerate()
+        .filter(|&(_, u)| !u)
+        .map(|(i, _)| i)
+        .collect();
+    Ok(report)
+}
+
+/// Renders the report for terminal consumption; returns the exit code.
+pub fn render(report: &Report, allowlist_path: &Path, out: &mut impl std::io::Write) -> i32 {
+    for f in &report.findings {
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}] {}\n    {}",
+            f.path,
+            f.violation.line,
+            f.violation.rule.id(),
+            f.violation.message,
+            f.violation.excerpt
+        );
+    }
+    for &i in &report.stale_allows {
+        let _ = writeln!(
+            out,
+            "{}: [stale-allow] entry #{} never matched any violation; remove it",
+            allowlist_path.display(),
+            i + 1
+        );
+    }
+    let _ = writeln!(
+        out,
+        "et-lint: {} file(s) scanned, {} violation(s), {} suppressed, {} stale allow(s)",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed,
+        report.stale_allows.len()
+    );
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Prints the rule catalogue.
+pub fn list_rules(out: &mut impl std::io::Write) {
+    for rule in Rule::all() {
+        let _ = writeln!(out, "{}  {}", rule.id(), rule.describe());
+    }
+}
+
+fn collect_rs(
+    dir: &Path,
+    kind: FileKind,
+    out: &mut Vec<(PathBuf, FileKind)>,
+) -> Result<(), EngineError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = std::fs::read_dir(dir).map_err(|e| EngineError::Io {
+        path: dir.to_path_buf(),
+        source: e,
+    })?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(&path, kind, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path, kind));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tree(files: &[(&str, &str)]) -> PathBuf {
+        let id = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or_default();
+        let root = std::env::temp_dir().join(format!("et-lint-test-{id}-{:p}", &files));
+        for (rel, content) in files {
+            let path = root.join(rel);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).expect("mkdir");
+            }
+            std::fs::write(&path, content).expect("write");
+        }
+        root
+    }
+
+    #[test]
+    fn clean_tree_reports_clean() {
+        let root = write_tree(&[(
+            "crates/a/src/lib.rs",
+            "//! Docs.\npub fn ok(x: usize) -> usize { x + 1 }\n",
+        )]);
+        let report = run(&root).expect("runs");
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.files_scanned, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seeded_violations_of_each_rule_are_caught() {
+        let root = write_tree(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn l1(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                 pub fn l3(x: f64) -> bool { x == 0.5 }\n\
+                 /// No panics doc.\n\
+                 pub fn l4(x: usize) { assert!(x > 0); }\n",
+            ),
+            (
+                "crates/a/tests/t.rs",
+                "fn l2() { let mut rng = rand::thread_rng(); }\n",
+            ),
+        ]);
+        let report = run(&root).expect("runs");
+        let mut fired: Vec<&str> = report
+            .findings
+            .iter()
+            .map(|f| f.violation.rule.id())
+            .collect();
+        fired.sort_unstable();
+        fired.dedup();
+        assert_eq!(fired, ["L1", "L2", "L3", "L4"], "{report:?}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_stale_entries_flagged() {
+        let root = write_tree(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn l1(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+            (
+                "et-lint.toml",
+                "[[allow]]\nrule = \"L1\"\npath = \"crates/a/src/lib.rs\"\n\
+                 reason = \"seeded for the suppression test\"\n\
+                 [[allow]]\nrule = \"L2\"\npath = \"never/matches.rs\"\nreason = \"stale\"\n",
+            ),
+        ]);
+        let report = run(&root).expect("runs");
+        assert!(report.findings.is_empty(), "{report:?}");
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.stale_allows, vec![1]);
+        assert!(!report.is_clean(), "stale allow keeps the run dirty");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn vendor_and_unknown_dirs_not_scanned() {
+        let root = write_tree(&[
+            ("vendor/rand/src/lib.rs", "pub fn thread_rng() {}\n"),
+            ("crates/a/src/lib.rs", "//! Fine.\n"),
+        ]);
+        let report = run(&root).expect("runs");
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.files_scanned, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn render_exit_codes() {
+        let clean = Report::default();
+        let mut sink = Vec::new();
+        assert_eq!(render(&clean, Path::new("et-lint.toml"), &mut sink), 0);
+        let dirty = Report {
+            findings: vec![Finding {
+                path: "x.rs".into(),
+                violation: rules::Violation {
+                    rule: rules::Rule::L1,
+                    line: 1,
+                    message: "m".into(),
+                    excerpt: "e".into(),
+                },
+            }],
+            ..Default::default()
+        };
+        assert_eq!(render(&dirty, Path::new("et-lint.toml"), &mut sink), 1);
+        let out = String::from_utf8(sink).expect("utf8");
+        assert!(out.contains("[L1]"), "{out}");
+    }
+}

@@ -1,0 +1,57 @@
+//! CLI for the workspace lint engine. See the library crate docs for the
+//! rule catalogue; `cargo lint` is the aliased entry point.
+
+use std::path::PathBuf;
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                et_lint::list_rules(&mut std::io::stdout());
+                return 0;
+            }
+            "--root" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("et-lint: --root needs a directory argument");
+                    return 2;
+                };
+                root = Some(PathBuf::from(dir));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "et-lint — workspace lint engine (rules L1-L4)\n\n\
+                     USAGE: et-lint [--root <workspace-dir>] [--list-rules]\n\n\
+                     Exit codes: 0 clean, 1 violations or stale allowlist \
+                     entries, 2 configuration error.\n\
+                     Allowlist: et-lint.toml at the workspace root."
+                );
+                return 0;
+            }
+            other => {
+                eprintln!("et-lint: unknown argument `{other}` (try --help)");
+                return 2;
+            }
+        }
+    }
+
+    // Default to the workspace root: two levels above this crate's manifest
+    // when invoked via `cargo run -p et-lint`, the current directory
+    // otherwise.
+    let root = root
+        .or_else(|| std::env::var_os("CARGO_MANIFEST_DIR").map(|d| PathBuf::from(d).join("../..")))
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    match et_lint::run(&root) {
+        Ok(report) => et_lint::render(&report, &root.join("et-lint.toml"), &mut std::io::stdout()),
+        Err(e) => {
+            eprintln!("et-lint: {e}");
+            2
+        }
+    }
+}

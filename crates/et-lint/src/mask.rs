@@ -1,0 +1,308 @@
+//! Source masking: blanks out the contents of comments, string literals, and
+//! char literals so token-level rules never fire on prose.
+//!
+//! The mask preserves byte length and every newline, so byte offsets and line
+//! numbers computed on the masked text are valid for the original.
+
+/// The two masked views of one source file.
+pub struct Masked {
+    /// Strings, chars, and comments blanked.
+    pub code: String,
+    /// Strings and chars blanked, comments kept (doc-comment rules need
+    /// comment text, but must not see tokens inside string literals).
+    pub with_comments: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+}
+
+/// Replaces every masked byte with a space, keeping `\n` so line structure
+/// survives. Handles nested block comments, escapes, raw strings, and the
+/// lifetime-vs-char-literal ambiguity.
+pub fn mask(source: &str) -> Masked {
+    let bytes = source.as_bytes();
+    let mut code: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut with_comments: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+
+    // Pushes a byte through the mask filter for both views.
+    let put = |code: &mut Vec<u8>, wc: &mut Vec<u8>, b: u8, in_comment: bool, in_string: bool| {
+        let keep_nl = b == b'\n';
+        if in_string {
+            code.push(if keep_nl { b'\n' } else { b' ' });
+            wc.push(if keep_nl { b'\n' } else { b' ' });
+        } else if in_comment {
+            code.push(if keep_nl { b'\n' } else { b' ' });
+            wc.push(b);
+        } else {
+            code.push(b);
+            wc.push(b);
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match b {
+                b'/' if next == Some(b'/') => {
+                    state = State::LineComment;
+                    put(&mut code, &mut with_comments, b, true, false);
+                    i += 1;
+                }
+                b'/' if next == Some(b'*') => {
+                    state = State::BlockComment { depth: 1 };
+                    put(&mut code, &mut with_comments, b, true, false);
+                    i += 1;
+                }
+                b'"' => {
+                    state = State::Str;
+                    // The delimiter itself stays visible.
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                }
+                b'r' if matches!(next, Some(b'"' | b'#'))
+                    && !prev_is_ident(bytes, i)
+                    && raw_str_hashes(bytes, i + 1).is_some() =>
+                {
+                    let hashes = raw_str_hashes(bytes, i + 1).unwrap_or(0);
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                    for _ in 0..=hashes {
+                        // hashes then the opening quote
+                        if i < bytes.len() {
+                            put(&mut code, &mut with_comments, bytes[i], false, false);
+                            i += 1;
+                        }
+                    }
+                    state = State::RawStr { hashes };
+                    continue;
+                }
+                b'b' if next == Some(b'"') => {
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                    put(&mut code, &mut with_comments, bytes[i], false, false);
+                    i += 1;
+                    state = State::Str;
+                    continue;
+                }
+                b'\'' => {
+                    if let Some(len) = char_literal_len(bytes, i) {
+                        // Opening quote visible, contents masked, closing visible.
+                        put(&mut code, &mut with_comments, b, false, false);
+                        for k in 1..len - 1 {
+                            put(&mut code, &mut with_comments, bytes[i + k], false, true);
+                        }
+                        put(&mut code, &mut with_comments, b'\'', false, false);
+                        i += len;
+                        continue;
+                    }
+                    // A lifetime; pass through.
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                }
+                _ => {
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if b == b'\n' {
+                    state = State::Code;
+                }
+                put(&mut code, &mut with_comments, b, true, false);
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                if b == b'*' && next == Some(b'/') {
+                    put(&mut code, &mut with_comments, b, true, false);
+                    put(&mut code, &mut with_comments, b'/', true, false);
+                    i += 2;
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment { depth: depth - 1 };
+                    }
+                } else if b == b'/' && next == Some(b'*') {
+                    put(&mut code, &mut with_comments, b, true, false);
+                    put(&mut code, &mut with_comments, b'*', true, false);
+                    i += 2;
+                    state = State::BlockComment { depth: depth + 1 };
+                } else {
+                    put(&mut code, &mut with_comments, b, true, false);
+                    i += 1;
+                }
+            }
+            State::Str => match b {
+                b'\\' => {
+                    put(&mut code, &mut with_comments, b, false, true);
+                    if let Some(n) = next {
+                        put(&mut code, &mut with_comments, n, false, true);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    put(&mut code, &mut with_comments, b, false, false);
+                    state = State::Code;
+                    i += 1;
+                }
+                _ => {
+                    put(&mut code, &mut with_comments, b, false, true);
+                    i += 1;
+                }
+            },
+            State::RawStr { hashes } => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                    for _ in 0..hashes {
+                        if i < bytes.len() {
+                            put(&mut code, &mut with_comments, bytes[i], false, false);
+                            i += 1;
+                        }
+                    }
+                    state = State::Code;
+                } else {
+                    put(&mut code, &mut with_comments, b, false, true);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    Masked {
+        code: String::from_utf8_lossy(&code).into_owned(),
+        with_comments: String::from_utf8_lossy(&with_comments).into_owned(),
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// For a raw string starting at `r`, returns the number of `#`s before the
+/// opening quote, or `None` if this is not a raw string opener.
+fn raw_str_hashes(bytes: &[u8], mut i: usize) -> Option<u32> {
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|h| bytes.get(i + 1 + h) == Some(&b'#'))
+}
+
+/// Length in bytes of a char literal starting at the `'` at `i`, or `None`
+/// when the quote starts a lifetime instead.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    let second = bytes.get(i + 1)?;
+    if *second == b'\\' {
+        // Escaped char: scan to the closing quote (handles \n, \u{..}, \x41).
+        let mut k = i + 2;
+        while k < bytes.len() && bytes[k] != b'\'' && bytes[k] != b'\n' {
+            k += 1;
+        }
+        if bytes.get(k) == Some(&b'\'') {
+            return Some(k - i + 1);
+        }
+        return None;
+    }
+    // Unescaped: `'x'` is a char literal; `'x` followed by anything else is a
+    // lifetime. Multi-byte UTF-8 scalars also end with a quote.
+    let mut k = i + 1;
+    // Skip one UTF-8 scalar.
+    let first_len = utf8_len(*second);
+    k += first_len;
+    if bytes.get(k) == Some(&b'\'') {
+        Some(k - i + 1)
+    } else {
+        None
+    }
+}
+
+fn utf8_len(b: u8) -> usize {
+    if b < 0x80 {
+        1
+    } else if b >> 5 == 0b110 {
+        2
+    } else if b >> 4 == 0b1110 {
+        3
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_blanked_in_code_view() {
+        let m = mask("let x = 1; // thread_rng here\n/* panic! */ let y = 2;\n");
+        assert!(!m.code.contains("thread_rng"));
+        assert!(!m.code.contains("panic!"));
+        assert!(m.code.contains("let x = 1;"));
+        assert!(m.code.contains("let y = 2;"));
+        // Comment text survives in the with_comments view.
+        assert!(m.with_comments.contains("thread_rng"));
+    }
+
+    #[test]
+    fn strings_blanked_in_both_views() {
+        let m = mask("let s = \"unwrap() panic!\"; let t = r#\"thread_rng\"#;");
+        for view in [&m.code, &m.with_comments] {
+            assert!(!view.contains("unwrap"));
+            assert!(!view.contains("panic"));
+            assert!(!view.contains("thread_rng"));
+        }
+        assert!(m.code.contains("let s ="));
+    }
+
+    #[test]
+    fn newlines_and_length_preserved() {
+        let src = "a\n\"two\nline\"\n// c\nb";
+        let m = mask(src);
+        assert_eq!(m.code.len(), src.len());
+        assert_eq!(m.code.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let m = mask(r#"let s = "he said \"unwrap()\""; x.unwrap();"#);
+        assert_eq!(m.code.matches("unwrap").count(), 1);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let m = mask("fn f<'a>(x: &'a str) { let c = '{'; let d = '\\n'; }");
+        assert!(m.code.contains("<'a>"));
+        assert!(!m.code.contains("'{'"), "brace in char literal masked");
+        // Brace balance must be unaffected by the masked '{'.
+        let opens = m.code.matches('{').count();
+        let closes = m.code.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = mask("/* outer /* inner unwrap() */ still comment */ code()");
+        assert!(!m.code.contains("unwrap"));
+        assert!(m.code.contains("code()"));
+    }
+}

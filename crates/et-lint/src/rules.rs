@@ -1,0 +1,602 @@
+//! The four repo-specific lint rules.
+//!
+//! All rules work on masked source (see [`crate::mask`]): string and comment
+//! contents never trigger tokens. "Test code" means byte regions covered by a
+//! `#[cfg(test)]` item (plus whole files under `tests/` or `benches/`).
+
+use crate::mask::Masked;
+
+/// Which rule fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// No `unwrap()`/`expect()`/`panic!` in non-test library code.
+    L1,
+    /// No unseeded RNG anywhere (`thread_rng`, `from_entropy`, `rand::random`).
+    L2,
+    /// No `==`/`!=` against f64 expressions outside tests.
+    L3,
+    /// Panicking `pub fn`s must document `# Panics`.
+    L4,
+}
+
+impl Rule {
+    /// The stable rule identifier used in reports and `et-lint.toml`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::L1 => "L1",
+            Rule::L2 => "L2",
+            Rule::L3 => "L3",
+            Rule::L4 => "L4",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::L1 => "no unwrap()/expect()/panic! in non-test library code",
+            Rule::L2 => "no unseeded RNG (thread_rng/from_entropy/rand::random) anywhere",
+            Rule::L3 => "no ==/!= between f64 expressions outside tests",
+            Rule::L4 => "pub fns that can panic must carry a `# Panics` doc section",
+        }
+    }
+
+    /// All rules, in report order.
+    pub fn all() -> [Rule; 4] {
+        [Rule::L1, Rule::L2, Rule::L3, Rule::L4]
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Crate `src/` code: all rules apply outside `#[cfg(test)]` regions.
+    Library,
+    /// Integration tests, benches, examples: only L2 applies.
+    TestLike,
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items.
+fn test_regions(code: &str) -> Vec<(usize, usize)> {
+    let bytes = code.as_bytes();
+    let mut regions = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(code, "#[cfg(test)]", from) {
+        from = pos + 1;
+        // The attribute governs the next item; its body is the next
+        // brace-balanced block (covers `mod tests { .. }` and `fn x() { .. }`).
+        let Some(open) = code[pos..].find('{').map(|o| pos + o) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            if b == b'{' {
+                depth += 1;
+            } else if b == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = k + 1;
+                    break;
+                }
+            }
+        }
+        regions.push((pos, end));
+        from = end;
+    }
+    regions
+}
+
+fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
+    haystack.get(from..)?.find(needle).map(|p| p + from)
+}
+
+fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
+    regions.iter().any(|&(a, b)| pos >= a && pos < b)
+}
+
+fn line_of(code: &str, pos: usize) -> usize {
+    code.as_bytes()[..pos]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+fn excerpt_line(original: &str, line: usize) -> String {
+    original
+        .lines()
+        .nth(line - 1)
+        .unwrap_or_default()
+        .trim()
+        .to_string()
+}
+
+/// True when `code[pos]` starts `token` at an identifier boundary. The
+/// boundary test only applies when the token itself begins with an
+/// identifier character (`.unwrap()` legitimately follows an identifier).
+fn token_at(code: &str, pos: usize, token: &str) -> bool {
+    if !code[pos..].starts_with(token) {
+        return false;
+    }
+    let first = token.as_bytes()[0];
+    if (first.is_ascii_alphanumeric() || first == b'_') && pos > 0 {
+        let prev = code.as_bytes()[pos - 1];
+        if prev.is_ascii_alphanumeric() || prev == b'_' {
+            return false;
+        }
+    }
+    true
+}
+
+/// Finds identifier-boundary occurrences of `token` in `code`.
+fn token_positions(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(code, token, from) {
+        if token_at(code, pos, token) {
+            out.push(pos);
+        }
+        from = pos + 1;
+    }
+    out
+}
+
+/// Runs every applicable rule over one masked file.
+pub fn check_file(masked: &Masked, original: &str, kind: FileKind) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let regions = test_regions(&masked.code);
+
+    l2_unseeded_rng(masked, original, &mut out);
+    if kind == FileKind::Library {
+        l1_no_panics(masked, original, &regions, &mut out);
+        l3_float_eq(masked, original, &regions, &mut out);
+        l4_panics_doc(masked, original, &regions, &mut out);
+    }
+
+    out.sort_by_key(|v| (v.line, v.rule.id()));
+    out
+}
+
+/// L1: `.unwrap()`, `.expect(`, `panic!` in non-test library code.
+fn l1_no_panics(
+    masked: &Masked,
+    original: &str,
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    const BANNED: [(&str, &str); 3] = [
+        (".unwrap()", "use a typed error or document the invariant"),
+        (".expect(", "use a typed error or document the invariant"),
+        (
+            "panic!",
+            "return an error instead of panicking in library code",
+        ),
+    ];
+    for (needle, hint) in BANNED {
+        for pos in token_positions(&masked.code, needle) {
+            if in_regions(regions, pos) {
+                continue;
+            }
+            let line = line_of(&masked.code, pos);
+            out.push(Violation {
+                rule: Rule::L1,
+                line,
+                message: format!("`{}` in library code; {hint}", needle.trim_matches('.')),
+                excerpt: excerpt_line(original, line),
+            });
+        }
+    }
+}
+
+/// L2: unseeded RNG constructors anywhere, test code included.
+fn l2_unseeded_rng(masked: &Masked, original: &str, out: &mut Vec<Violation>) {
+    const BANNED: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+    for needle in BANNED {
+        for pos in token_positions(&masked.code, needle) {
+            let line = line_of(&masked.code, pos);
+            out.push(Violation {
+                rule: Rule::L2,
+                line,
+                message: format!(
+                    "`{needle}` draws entropy; every generator must be seeded \
+                     (determinism is load-bearing for the reproduction)"
+                ),
+                excerpt: excerpt_line(original, line),
+            });
+        }
+    }
+}
+
+/// L3: `==`/`!=` where one operand is a float literal (or an expression
+/// ending in `as f64`), outside tests. Lexical by design: the 100%-precise
+/// version of this check is `clippy::float_cmp`, which the workspace also
+/// enables; this rule catches the idiom clippy misses in macro output.
+fn l3_float_eq(
+    masked: &Masked,
+    original: &str,
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let code = &masked.code;
+    let bytes = code.as_bytes();
+    for op in ["==", "!="] {
+        for pos in token_positions_raw(code, op) {
+            if in_regions(regions, pos) {
+                continue;
+            }
+            // `!=` positions also match the tail of `!==`? No such token in
+            // Rust; but `<=`/`>=`/`=>`/`=` must not be confused with `==`:
+            // check the byte before `==` is not `=`, `<`, `>`, `!`.
+            if op == "==" {
+                if pos > 0 && matches!(bytes[pos - 1], b'=' | b'<' | b'>' | b'!') {
+                    continue;
+                }
+                if bytes.get(pos + 2) == Some(&b'=') {
+                    continue;
+                }
+            }
+            let lhs = left_operand(code, pos);
+            let rhs = right_operand(code, pos + op.len());
+            if is_floatish(lhs) || is_floatish(rhs) {
+                let line = line_of(code, pos);
+                out.push(Violation {
+                    rule: Rule::L3,
+                    line,
+                    message: format!(
+                        "float compared with `{op}`; use an epsilon or total_cmp \
+                         (lhs `{}`, rhs `{}`)",
+                        lhs.trim(),
+                        rhs.trim()
+                    ),
+                    excerpt: excerpt_line(original, line),
+                });
+            }
+        }
+    }
+}
+
+/// Occurrences of a non-identifier token (no boundary check applies).
+fn token_positions_raw(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_from(code, token, from) {
+        out.push(pos);
+        from = pos + token.len();
+    }
+    out
+}
+
+/// The expression text immediately left of an operator, scanned to the
+/// nearest low-precedence boundary.
+fn left_operand(code: &str, op_pos: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = op_pos;
+    let mut depth = 0i32;
+    while i > 0 {
+        let b = bytes[i - 1];
+        match b {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' | b'{' | b',' | b';' if depth == 0 => break,
+            b'(' | b'[' => depth -= 1,
+            b'&' | b'|' | b'=' | b'<' | b'>' if depth == 0 => break,
+            b'\n' if depth == 0 => break,
+            _ => {}
+        }
+        i -= 1;
+    }
+    code[i..op_pos].trim()
+}
+
+/// The expression text immediately right of an operator.
+fn right_operand(code: &str, after_op: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut i = after_op;
+    let mut depth = 0i32;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' | b'}' | b',' | b';' if depth == 0 => break,
+            b')' | b']' => depth -= 1,
+            b'&' | b'|' | b'<' | b'>' if depth == 0 => break,
+            b'\n' if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    code[after_op..i].trim()
+}
+
+/// True when the operand text clearly denotes an f64: a float literal
+/// (`0.5`, `1e-9`, `2f64`) or a trailing `as f64` cast.
+fn is_floatish(expr: &str) -> bool {
+    let expr = expr.trim();
+    if expr.ends_with("as f64") || expr.ends_with("as f32") {
+        return true;
+    }
+    has_float_literal(expr)
+}
+
+fn has_float_literal(expr: &str) -> bool {
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            // Not part of an identifier like `x0`.
+            if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                i += 1;
+            }
+            // `12.`, `12.5`
+            if i < bytes.len() && bytes[i] == b'.' {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'.' {
+                    // range `0..n`
+                    i += 2;
+                    continue;
+                }
+                return true;
+            }
+            // `1e-9`, `2f64`
+            let rest = &expr[i..];
+            if rest.starts_with('e') || rest.starts_with("f64") || rest.starts_with("f32") {
+                let after_e = rest.strip_prefix('e').unwrap_or("");
+                if rest.starts_with('f')
+                    || after_e.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '+')
+                {
+                    return true;
+                }
+            }
+            let _ = start;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+/// L4: a `pub fn` whose body contains `assert!`/`assert_eq!`/`assert_ne!`/
+/// `panic!` must have a doc comment with a `# Panics` section.
+fn l4_panics_doc(
+    masked: &Masked,
+    original: &str,
+    regions: &[(usize, usize)],
+    out: &mut Vec<Violation>,
+) {
+    let code = &masked.code;
+    let bytes = code.as_bytes();
+    for fn_pos in token_positions(code, "fn ") {
+        let Some(pos) = pub_fn_start(code, fn_pos) else {
+            continue;
+        };
+        if in_regions(regions, pos) {
+            continue;
+        }
+        // Body: first `{` after the signature, brace-matched.
+        let Some(open) = find_from(code, "{", fn_pos) else {
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = bytes.len();
+        for (k, &b) in bytes.iter().enumerate().skip(open) {
+            if b == b'{' {
+                depth += 1;
+            } else if b == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    end = k + 1;
+                    break;
+                }
+            }
+        }
+        let body = &code[open..end];
+        let panics = ["assert!", "assert_eq!", "assert_ne!", "panic!"]
+            .iter()
+            .any(|t| body_has_token(body, t));
+        if !panics {
+            continue;
+        }
+        let line = line_of(code, pos);
+        if doc_block_has_panics(&masked.with_comments, line) {
+            continue;
+        }
+        let name = code[fn_pos + "fn ".len()..]
+            .split(|c: char| !c.is_alphanumeric() && c != '_')
+            .next()
+            .unwrap_or("?")
+            .to_string();
+        out.push(Violation {
+            rule: Rule::L4,
+            line,
+            message: format!(
+                "`pub fn {name}` can panic (assert/panic in body) but its doc \
+                 comment has no `# Panics` section"
+            ),
+            excerpt: excerpt_line(original, line),
+        });
+    }
+}
+
+/// For an `fn ` keyword at `fn_pos`, returns the start of its `pub`
+/// visibility token if the fn is exactly `pub` (not `pub(crate)`), walking
+/// back over the `const`/`async`/`unsafe` modifiers.
+fn pub_fn_start(code: &str, fn_pos: usize) -> Option<usize> {
+    let mut end = fn_pos;
+    loop {
+        let before = code[..end].trim_end();
+        let word_start = before
+            .rfind(|c: char| !c.is_alphanumeric() && c != '_')
+            .map_or(0, |p| p + 1);
+        match &before[word_start..] {
+            "const" | "async" | "unsafe" => end = word_start,
+            "pub" => return Some(word_start),
+            _ => return None,
+        }
+    }
+}
+
+fn body_has_token(body: &str, token: &str) -> bool {
+    token_positions(body, token)
+        .iter()
+        .any(|&p| !body[..p].ends_with("debug_"))
+}
+
+/// Walks upward from the line above `fn_line`, across attributes, collecting
+/// the contiguous `///` block; true when it contains `# Panics`.
+fn doc_block_has_panics(with_comments: &str, fn_line: usize) -> bool {
+    let lines: Vec<&str> = with_comments.lines().collect();
+    let mut i = fn_line.saturating_sub(1); // index of the fn line
+    while i > 0 {
+        let prev = lines[i - 1].trim_start();
+        if prev.starts_with("#[") || prev.starts_with("#!") {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut saw_panics = false;
+    while i > 0 {
+        let prev = lines[i - 1].trim_start();
+        if prev.starts_with("///") {
+            if prev.contains("# Panics") {
+                saw_panics = true;
+            }
+            i -= 1;
+        } else if prev.starts_with("#[") {
+            // Attributes interleaved with docs (e.g. `#[must_use]`).
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    saw_panics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mask::mask;
+
+    fn check(src: &str, kind: FileKind) -> Vec<Violation> {
+        check_file(&mask(src), src, kind)
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|v| v.rule.id()).collect()
+    }
+
+    #[test]
+    fn l1_fires_on_unwrap_expect_panic() {
+        let src = "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   pub fn g(x: Option<u32>) -> u32 { x.expect(\"oops\") }\n\
+                   pub fn h() { panic!(\"boom\"); }\n";
+        let v = check(src, FileKind::Library);
+        // `h` both panics in library code (L1) and lacks a `# Panics`
+        // section (L4).
+        assert_eq!(rules_of(&v), ["L1", "L1", "L1", "L4"]);
+    }
+
+    #[test]
+    fn l1_ignores_tests_and_testlike_files() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(check(src, FileKind::Library).is_empty());
+        let bench = "fn main() { None::<u32>.unwrap(); }";
+        assert!(check(bench, FileKind::TestLike).is_empty());
+    }
+
+    #[test]
+    fn l1_ignores_strings_comments_and_debug_assert() {
+        let src = "// panic! here is prose\npub fn f() { let _ = \"don't panic!\"; }\n\
+                   pub fn g() { debug_assert!(true); }\n";
+        let v = check(src, FileKind::Library);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l2_fires_everywhere_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let mut r = rand::thread_rng(); }\n}\n";
+        let v = check(src, FileKind::Library);
+        assert_eq!(rules_of(&v), ["L2"]);
+        let bench = "fn main() { let r = StdRng::from_entropy(); let x: f64 = rand::random(); }";
+        let v = check(bench, FileKind::TestLike);
+        assert_eq!(rules_of(&v), ["L2", "L2"]);
+    }
+
+    #[test]
+    fn l3_fires_on_float_literal_comparison() {
+        let src = "pub fn f(x: f64) -> bool { x == 0.5 }\n\
+                   pub fn g(x: f64) -> bool { 1.0 != x }\n\
+                   pub fn h(n: usize) -> bool { n as f64 == total() }\n";
+        let v = check(src, FileKind::Library);
+        assert_eq!(rules_of(&v), ["L3", "L3", "L3"]);
+    }
+
+    #[test]
+    fn l3_ignores_integers_ranges_and_tests() {
+        let src = "pub fn f(x: usize) -> bool { x == 10 }\n\
+                   pub fn g(x: usize) -> bool { (0..5).contains(&x) && x != 3 }\n\
+                   pub fn ver(s: &str) -> bool { s == \"1.0\" }\n\
+                   #[cfg(test)]\nmod tests { fn t(x: f64) -> bool { x == 0.5 } }\n";
+        let v = check(src, FileKind::Library);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn l3_not_confused_by_other_operators() {
+        let src = "pub fn f(x: f64) -> bool { x <= 0.5 && x >= 0.1 }\n\
+                   pub fn g(x: f64) -> f64 { let y = 0.5; y }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn l4_requires_panics_doc() {
+        let bad = "/// Does things.\npub fn f(x: usize) { assert!(x > 0); }\n";
+        let v = check(bad, FileKind::Library);
+        assert_eq!(rules_of(&v), ["L4"]);
+
+        let good = "/// Does things.\n///\n/// # Panics\n/// Panics when x is 0.\n\
+                    pub fn f(x: usize) { assert!(x > 0); }\n";
+        assert!(check(good, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn l4_skips_private_fns_debug_asserts_and_tests() {
+        let src = "fn private(x: usize) { assert!(x > 0); }\n\
+                   pub fn soft(x: usize) { debug_assert!(x > 0); }\n\
+                   #[cfg(test)]\nmod tests { pub fn t() { assert!(true); } }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn l4_sees_docs_across_attributes() {
+        let src = "/// Docs.\n///\n/// # Panics\n/// On bad input.\n#[must_use]\n\
+                   pub fn f(x: usize) -> usize { assert!(x > 0); x }\n";
+        assert!(check(src, FileKind::Library).is_empty());
+    }
+
+    #[test]
+    fn violations_carry_lines_and_excerpts() {
+        let src = "fn a() {}\n\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = check(src, FileKind::Library);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].excerpt.contains("pub fn f"));
+    }
+}

@@ -1,0 +1,128 @@
+//! End-to-end self-test: the `et-lint` *binary* must exit non-zero on a
+//! seeded violation of each rule L1-L4, and zero on a clean tree.
+
+// Test-support helpers outside #[test] fns may expect/unwrap freely.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("et-lint-exit-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    for (rel, content) in files {
+        let path = root.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("mkdir");
+        }
+        std::fs::write(&path, content).expect("write");
+    }
+    root
+}
+
+fn lint(root: &Path) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
+        .args(["--root"])
+        .arg(root)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+    )
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = scratch(
+        "clean",
+        &[(
+            "crates/a/src/lib.rs",
+            "//! Docs.\npub fn ok(x: usize) -> usize { x + 1 }\n",
+        )],
+    );
+    let (code, out) = lint(&root);
+    assert_eq!(code, 0, "stdout: {out}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn each_rule_seeded_violation_exits_nonzero() {
+    let cases: [(&str, &str, &str, &str); 4] = [
+        (
+            "l1",
+            "crates/a/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            "[L1]",
+        ),
+        (
+            "l2",
+            "crates/a/src/lib.rs",
+            "pub fn f() -> u64 { let mut r = rand::thread_rng(); 0 }\n",
+            "[L2]",
+        ),
+        (
+            "l3",
+            "crates/a/src/lib.rs",
+            "pub fn f(x: f64) -> bool { x == 0.25 }\n",
+            "[L3]",
+        ),
+        (
+            "l4",
+            "crates/a/src/lib.rs",
+            "/// Undocumented panic.\npub fn f(x: usize) { assert!(x > 0); }\n",
+            "[L4]",
+        ),
+    ];
+    for (name, rel, content, marker) in cases {
+        let root = scratch(name, &[(rel, content)]);
+        let (code, out) = lint(&root);
+        assert_eq!(code, 1, "rule {name} should fail; stdout: {out}");
+        assert!(out.contains(marker), "rule {name} marker in: {out}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
+
+#[test]
+fn allowlisted_violation_exits_zero() {
+    let root = scratch(
+        "allowed",
+        &[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+            ),
+            (
+                "et-lint.toml",
+                "[[allow]]\nrule = \"L1\"\npath = \"crates/a/src/lib.rs\"\n\
+                 pattern = \"x.unwrap()\"\nreason = \"seeded exception for the exit-code test\"\n",
+            ),
+        ],
+    );
+    let (code, out) = lint(&root);
+    assert_eq!(code, 0, "stdout: {out}");
+    assert!(out.contains("1 suppressed"), "stdout: {out}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn bad_allowlist_exits_two() {
+    let root = scratch(
+        "badconf",
+        &[
+            ("crates/a/src/lib.rs", "//! Fine.\n"),
+            ("et-lint.toml", "[[allow]]\nrule = \"L7\"\n"),
+        ],
+    );
+    let (code, _) = lint(&root);
+    assert_eq!(code, 2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn workspace_at_head_is_clean() {
+    // The real acceptance gate: the repository this test compiles from must
+    // itself lint clean.
+    let ws_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (code, out) = lint(&ws_root);
+    assert_eq!(code, 0, "workspace must lint clean:\n{out}");
+}

@@ -28,9 +28,13 @@ impl SeriesStats {
         self.mean.is_empty()
     }
 
-    /// The final mean value (panics on empty series).
+    /// The final mean value.
+    ///
+    /// # Panics
+    /// Panics on an empty series.
     pub fn last_mean(&self) -> f64 {
-        *self.mean.last().expect("empty series")
+        assert!(!self.is_empty(), "last_mean of an empty series");
+        self.mean[self.mean.len() - 1]
     }
 }
 

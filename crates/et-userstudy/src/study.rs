@@ -104,6 +104,11 @@ pub fn study_dataset(scenario: &Scenario, cfg: &StudyConfig) -> crate::scenario:
 
 /// Runs the study for one scenario, producing one trajectory per
 /// participant. Deterministic in `cfg.seed`.
+///
+/// # Panics
+/// Panics on an inconsistent config: zero participants, more
+/// hypothesis-testing participants than participants, or a minimum
+/// iteration count above the maximum.
 pub fn run_study(scenario: &Scenario, cfg: &StudyConfig) -> Vec<Trajectory> {
     assert!(cfg.participants > 0);
     assert!(cfg.ht_participants <= cfg.participants);

@@ -12,6 +12,8 @@
 //! classic active learning assumes exists) and unsupervised discovery
 //! straight from the dirty data.
 
+// Example code favours direct `expect` over error plumbing.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
 use std::sync::Arc;
 
 use exploratory_training::belief::{

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The full local CI gate, in fail-fast order: cheapest checks first.
+#
+#   ./scripts/ci.sh            # everything
+#
+# Mirrors what a hosted pipeline would run; each step is independently
+# runnable (see README "Correctness tooling").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> et-lint (L1-L4 workspace rules)"
+cargo run -q -p et-lint
+
+echo "==> cargo test --workspace"
+cargo test --workspace -q
+
+echo "==> invariant-checks feature armed (facade + gated crates)"
+cargo test -q --features invariant-checks
+cargo test -q -p et-fd --features invariant-checks
+cargo test -q -p et-belief --features invariant-checks
+cargo test -q -p et-core --features invariant-checks
+
+echo "CI gate passed."

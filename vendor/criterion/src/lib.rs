@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock benchmark harness.
+//!
+//! The build environment resolves crates offline, so this workspace vendors
+//! the slice of the criterion API the `et-bench` benches use. Statistical
+//! machinery (outlier rejection, regression, HTML reports) is out of scope —
+//! each benchmark is timed over a fixed number of timed iterations after a
+//! short warm-up, and median/mean per-iteration times are printed.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benchmarked
+/// work. Mirrors `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup cost; this shim runs one setup per
+/// measured closure call regardless of variant.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine-local inputs.
+    SmallInput,
+    /// Larger inputs (no behavioural difference in this shim).
+    LargeInput,
+}
+
+/// A benchmark identifier: `function_id` plus an optional parameter string.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id with a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter rendering.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed over by benchmark bodies.
+pub struct Bencher {
+    iters: u64,
+    /// Mean/median per-iteration time of the last `iter*` call.
+    elapsed: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Self {
+            iters,
+            elapsed: Vec::new(),
+        }
+    }
+
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up pass.
+        black_box(routine());
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.elapsed.is_empty() {
+            println!("{name:<50} (no measurements)");
+            return;
+        }
+        let mut sorted = self.elapsed.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let total: Duration = sorted.iter().sum();
+        let mean = total / sorted.len() as u32;
+        println!(
+            "{name:<50} median {median:>12?}  mean {mean:>12?}  ({} iters)",
+            sorted.len()
+        );
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: u64 = 20;
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a sample-size override.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (a no-op report boundary in this shim).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Criterion benchmark group entry point.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        compile_error!("configured criterion_group! form is not supported by the offline shim");
+    };
+}
+
+/// Declares the benchmark `main` entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(unit_benches, target);
+
+    #[test]
+    fn harness_runs_groups_and_ids_render() {
+        unit_benches();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::new("f", 42), &42u32, |b, &x| {
+            b.iter_batched(|| x, |v| black_box(v + 1), BatchSize::SmallInput);
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("deg0.1").to_string(), "deg0.1");
+    }
+}
