@@ -50,7 +50,8 @@ pub use learner::{EvidenceScope, Learner};
 pub use replay::{history_from_csv, history_to_csv, replay_history};
 pub use respond::{ResponseStrategy, ScoreBasis, StrategyKind};
 pub use session::{
-    run_session, ConvergenceReport, IterationMetrics, Session, SessionConfig, SessionResult,
+    run_session, ConfigError, ConvergenceReport, IterationMetrics, PendingInteraction, Session,
+    SessionConfig, SessionError, SessionResult, SessionState, StepError,
 };
 pub use trainer::{FpTrainer, HtTrainer, NoisyTrainer, StationaryTrainer, Trainer};
 pub use weak_strong::{run_weak_strong, WeakStrongConfig, WeakStrongResult};

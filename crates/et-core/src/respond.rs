@@ -92,6 +92,23 @@ impl StrategyKind {
         }
     }
 
+    /// Parses a display name (as produced by [`StrategyKind::as_str`])
+    /// back into the strategy; used by external drivers naming strategies
+    /// over the wire.
+    pub fn from_name(name: &str) -> Option<StrategyKind> {
+        let all = [
+            StrategyKind::Random,
+            StrategyKind::UncertaintySampling,
+            StrategyKind::StochasticBestResponse,
+            StrategyKind::StochasticUncertainty,
+            StrategyKind::Best,
+            StrategyKind::ThompsonSampling,
+            StrategyKind::CommitteeDisagreement,
+            StrategyKind::DensityWeightedUncertainty,
+        ];
+        all.into_iter().find(|k| k.as_str() == name)
+    }
+
     /// The extension strategies beyond the paper's four (for ablations).
     pub const EXTENSIONS: [StrategyKind; 4] = [
         StrategyKind::Best,

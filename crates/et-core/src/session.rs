@@ -9,6 +9,16 @@
 //! Convergence is tracked per Definition 2 / Proposition 1: the session
 //! reports when both agents' beliefs (and the trainer's empirical labeling
 //! frequency Φ_t) stop moving.
+//!
+//! Two drivers share one engine:
+//!
+//! * [`run_session`] / [`Session::run`] — the closed batch loop the
+//!   experiments use: present, label, update, `N` times.
+//! * [`SessionState`] — the resumable step API: `present` → (labels arrive
+//!   from *anywhere* — the in-process trainer via [`SessionState::label_pending`]
+//!   or a remote annotator over the wire) → [`SessionState::apply_labels`].
+//!   The batch loop is implemented on top of it, so a step-driven session
+//!   with the same seed reproduces the batch metrics bit for bit.
 
 use std::sync::Arc;
 
@@ -55,6 +65,147 @@ impl Default for SessionConfig {
         }
     }
 }
+
+/// Why a [`SessionConfig`] was rejected by [`SessionConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `iterations` was zero: the session would end before it began.
+    ZeroIterations,
+    /// `pairs_per_iteration` was zero: nothing would ever be presented.
+    ZeroPairsPerIteration,
+    /// `test_frac` outside the open interval `(0, 1)`: either no held-out
+    /// rows to evaluate on, or no training rows to present.
+    TestFracOutOfRange(f64),
+    /// `pool_cap` was zero: the candidate pool would be empty.
+    ZeroPoolCap,
+    /// `stability_window` was zero: convergence would be declared at t = 0.
+    ZeroStabilityWindow,
+    /// `eps_drift` was negative or not finite.
+    BadEpsDrift(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroIterations => write!(f, "iterations must be positive"),
+            ConfigError::ZeroPairsPerIteration => {
+                write!(f, "pairs_per_iteration must be positive")
+            }
+            ConfigError::TestFracOutOfRange(v) => {
+                write!(f, "test_frac must lie in (0, 1), got {v}")
+            }
+            ConfigError::ZeroPoolCap => write!(f, "pool_cap must be positive"),
+            ConfigError::ZeroStabilityWindow => {
+                write!(f, "stability_window must be positive")
+            }
+            ConfigError::BadEpsDrift(v) => {
+                write!(f, "eps_drift must be finite and non-negative, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl SessionConfig {
+    /// Checks the configuration for values that would silently produce a
+    /// degenerate run (no interactions, empty pools, vacuous convergence).
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] found, in field order.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.iterations == 0 {
+            return Err(ConfigError::ZeroIterations);
+        }
+        if self.pairs_per_iteration == 0 {
+            return Err(ConfigError::ZeroPairsPerIteration);
+        }
+        if !(self.test_frac > 0.0 && self.test_frac < 1.0) {
+            return Err(ConfigError::TestFracOutOfRange(self.test_frac));
+        }
+        if self.pool_cap == 0 {
+            return Err(ConfigError::ZeroPoolCap);
+        }
+        if self.stability_window == 0 {
+            return Err(ConfigError::ZeroStabilityWindow);
+        }
+        if !self.eps_drift.is_finite() || self.eps_drift < 0.0 {
+            return Err(ConfigError::BadEpsDrift(self.eps_drift));
+        }
+        Ok(())
+    }
+}
+
+/// Why a [`SessionState`] could not be constructed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionError {
+    /// The configuration failed [`SessionConfig::validate`].
+    Config(ConfigError),
+    /// The ground-truth dirty flags do not align with the table.
+    DirtyRowsMismatch {
+        /// Rows in the table.
+        rows: usize,
+        /// Flags supplied.
+        flags: usize,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::Config(e) => write!(f, "invalid session config: {e}"),
+            SessionError::DirtyRowsMismatch { rows, flags } => write!(
+                f,
+                "dirty flags must align with the table ({rows} rows, {flags} flags)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<ConfigError> for SessionError {
+    fn from(e: ConfigError) -> Self {
+        SessionError::Config(e)
+    }
+}
+
+/// A step called out of phase on a [`SessionState`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// `present` was called while labels for the previous presentation are
+    /// still outstanding.
+    LabelsPending,
+    /// `label_pending`/`apply_labels` was called with no presentation
+    /// outstanding.
+    NothingPending,
+    /// `apply_labels` received the wrong number of labels.
+    LabelCount {
+        /// Tuples in the pending sample.
+        expected: usize,
+        /// Labels supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::LabelsPending => {
+                write!(f, "labels for the current presentation are still pending")
+            }
+            StepError::NothingPending => write!(f, "no presentation is pending"),
+            StepError::LabelCount { expected, got } => {
+                write!(
+                    f,
+                    "expected {expected} labels (one per sample tuple), got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
 
 /// Everything measured after one interaction.
 #[derive(Debug, Clone)]
@@ -160,6 +311,376 @@ impl SessionResult {
     }
 }
 
+/// One outstanding presentation: the pairs the learner selected and the
+/// distinct tuples shown to whoever is labeling.
+#[derive(Debug, Clone)]
+pub struct PendingInteraction {
+    pairs: Vec<crate::game::PairExample>,
+    sample: Vec<usize>,
+    h_policy: f64,
+    predicted: Vec<bool>,
+}
+
+impl PendingInteraction {
+    /// The selected pairs (global row ids).
+    pub fn pairs(&self) -> &[crate::game::PairExample] {
+        &self.pairs
+    }
+
+    /// The distinct tuples of the selected pairs, in presentation order.
+    pub fn sample(&self) -> &[usize] {
+        &self.sample
+    }
+}
+
+/// A resumable session: the game loop opened up into explicit
+/// present → label → update steps.
+///
+/// The state owns its table and all derived context (held-out evaluation
+/// index, dataset-wide scoring index, candidate pool) but *not* the agents —
+/// the trainer and learner are passed into each step, so a server can keep
+/// them beside the state and a batch driver can keep borrowing its own.
+///
+/// Step protocol per interaction:
+///
+/// 1. [`SessionState::present`] — the learner selects pairs; the returned
+///    [`PendingInteraction`] holds the sample to label. `Ok(None)` means the
+///    session is complete (iteration budget exhausted or candidate pool dry).
+/// 2. Labels are produced either by [`SessionState::label_pending`] (the
+///    in-process simulated annotator) or externally (a remote annotator).
+/// 3. [`SessionState::apply_labels`] — the learner absorbs the labels and
+///    the per-iteration metrics are recorded.
+///
+/// Driving these steps with the same seeds reproduces [`Session::run`]
+/// exactly — `run` is implemented on top of this type.
+pub struct SessionState {
+    table: Table,
+    space: Arc<HypothesisSpace>,
+    cfg: SessionConfig,
+    test_index: ViolationIndex,
+    test_dirty: Vec<bool>,
+    test_eval_rows: Vec<usize>,
+    score_index: ViolationIndex,
+    pool: CandidatePool,
+    metrics: Vec<IterationMetrics>,
+    history: Vec<Interaction>,
+    prev_trainer: Vec<f64>,
+    prev_learner: Vec<f64>,
+    labels_total: usize,
+    dirty_total: usize,
+    t: usize,
+    exhausted: bool,
+    pending: Option<PendingInteraction>,
+}
+
+impl SessionState {
+    /// Prepares a resumable session over an owned table.
+    ///
+    /// The agents are only *read* here (their initial confidences seed the
+    /// drift tracking); they are not stored.
+    ///
+    /// # Errors
+    /// Returns [`SessionError::Config`] when the configuration fails
+    /// [`SessionConfig::validate`], and [`SessionError::DirtyRowsMismatch`]
+    /// when `dirty_rows` does not align with the table.
+    pub fn new(
+        table: Table,
+        space: Arc<HypothesisSpace>,
+        dirty_rows: &[bool],
+        cfg: SessionConfig,
+        trainer: &dyn Trainer,
+        learner: &Learner,
+    ) -> Result<Self, SessionError> {
+        cfg.validate()?;
+        if dirty_rows.len() != table.nrows() {
+            return Err(SessionError::DirtyRowsMismatch {
+                rows: table.nrows(),
+                flags: dirty_rows.len(),
+            });
+        }
+        let (train_rows, test_rows) = split_rows(table.nrows(), cfg.test_frac, cfg.seed);
+        let in_train = {
+            let mut mask = vec![false; table.nrows()];
+            for &r in &train_rows {
+                mask[r] = true;
+            }
+            mask
+        };
+
+        // Held-out evaluation context: violations within the test subset.
+        let test_table = table.subset(&test_rows);
+        let test_index = ViolationIndex::build(&test_table, &space);
+        let test_dirty: Vec<bool> = test_rows.iter().map(|&r| dirty_rows[r]).collect();
+        let test_eval_rows: Vec<usize> = (0..test_rows.len()).collect();
+
+        // Dataset-wide violation index for strategy scoring (the paper's
+        // tuple-level p(clean | θ) is judged against the whole dataset).
+        let score_index = ViolationIndex::build(&table, &space);
+
+        // Candidate pool restricted to training rows.
+        let pool = CandidatePool::build(&table, &space, cfg.pool_cap, cfg.seed);
+        let pool = CandidatePool::from_pairs(
+            pool.pairs()
+                .iter()
+                .copied()
+                .filter(|p| in_train[p.a] && in_train[p.b])
+                .collect(),
+        );
+
+        let prev_trainer = trainer.confidences();
+        let prev_learner = learner.confidences();
+        let metrics = Vec::with_capacity(cfg.iterations);
+        let history = Vec::with_capacity(cfg.iterations);
+        Ok(Self {
+            table,
+            space,
+            cfg,
+            test_index,
+            test_dirty,
+            test_eval_rows,
+            score_index,
+            pool,
+            metrics,
+            history,
+            prev_trainer,
+            prev_learner,
+            labels_total: 0,
+            dirty_total: 0,
+            t: 0,
+            exhausted: false,
+            pending: None,
+        })
+    }
+
+    /// The table this session runs over.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The hypothesis space.
+    pub fn space(&self) -> &Arc<HypothesisSpace> {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Interactions completed so far.
+    pub fn iterations_done(&self) -> usize {
+        self.t
+    }
+
+    /// Per-iteration metrics recorded so far.
+    pub fn metrics(&self) -> &[IterationMetrics] {
+        &self.metrics
+    }
+
+    /// The outstanding presentation, if labels are awaited.
+    pub fn pending(&self) -> Option<&PendingInteraction> {
+        self.pending.as_ref()
+    }
+
+    /// True once the session can make no further progress: the iteration
+    /// budget is spent or a `present` call found the candidate pool dry.
+    pub fn is_complete(&self) -> bool {
+        self.t >= self.cfg.iterations || self.exhausted
+    }
+
+    /// Starts the next interaction: the learner selects up to
+    /// `pairs_per_iteration` fresh pairs and the presented sample is fixed.
+    ///
+    /// Returns `Ok(None)` when the session is complete (budget spent or
+    /// pool exhausted).
+    ///
+    /// # Errors
+    /// [`StepError::LabelsPending`] when the previous presentation has not
+    /// been labeled yet.
+    pub fn present(
+        &mut self,
+        learner: &mut Learner,
+    ) -> Result<Option<&PendingInteraction>, StepError> {
+        if self.pending.is_some() {
+            return Err(StepError::LabelsPending);
+        }
+        if self.is_complete() {
+            return Ok(None);
+        }
+        // Policy distribution before selection (for entropy accounting).
+        let (_, dist) = learner.policy_over_fresh(
+            &self.table,
+            Some(&self.score_index),
+            &self.pool,
+            self.cfg.pairs_per_iteration,
+        );
+        let h_policy = policy_entropy(&dist);
+
+        let pairs = learner.select(
+            &self.table,
+            Some(&self.score_index),
+            &self.pool,
+            self.cfg.pairs_per_iteration,
+        );
+        if pairs.is_empty() {
+            self.exhausted = true; // pool dry
+            return Ok(None);
+        }
+
+        // The presented sample: the distinct tuples of the selected
+        // pairs (k pairs -> up to 2k tuples, the paper's k = 10).
+        let mut sample: Vec<usize> = Vec::with_capacity(pairs.len() * 2);
+        for p in &pairs {
+            for r in [p.a, p.b] {
+                if !sample.contains(&r) {
+                    sample.push(r);
+                }
+            }
+        }
+
+        // Learner's pre-update predicted labels on the sample, for the
+        // agreement metric.
+        let learner_conf_pre = learner.confidences();
+        let sub = self.table.subset(&sample);
+        let sub_index = ViolationIndex::build(&sub, &self.space);
+        let local_rows: Vec<usize> = (0..sample.len()).collect();
+        let predicted = predict_labels(&sub_index, &learner_conf_pre, &local_rows);
+
+        self.pending = Some(PendingInteraction {
+            pairs,
+            sample,
+            h_policy,
+            predicted,
+        });
+        Ok(self.pending.as_ref())
+    }
+
+    /// Labels the pending sample with the in-process trainer (the simulated
+    /// annotator observes the sample, updates its belief, and labels it).
+    /// Does not consume the pending presentation — follow with
+    /// [`SessionState::apply_labels`].
+    ///
+    /// # Errors
+    /// [`StepError::NothingPending`] when no presentation is outstanding.
+    pub fn label_pending(&mut self, trainer: &mut dyn Trainer) -> Result<Vec<bool>, StepError> {
+        let sample = match &self.pending {
+            Some(p) => p.sample.clone(),
+            None => return Err(StepError::NothingPending),
+        };
+        let labels = trainer.respond(&self.table, &sample);
+        debug_assert_eq!(labels.len(), sample.len());
+        Ok(labels)
+    }
+
+    /// Completes the interaction: the learner absorbs `labels` (one per
+    /// sample tuple), the per-iteration metrics are computed against the
+    /// trainer's current model, and the interaction joins the history.
+    ///
+    /// The labels may come from [`SessionState::label_pending`] (batch
+    /// mode) or from an external annotator; in the latter case call
+    /// `label_pending` first anyway if the trainer's model should keep
+    /// tracking the observed data.
+    ///
+    /// # Errors
+    /// [`StepError::NothingPending`] with no outstanding presentation;
+    /// [`StepError::LabelCount`] when `labels` does not align with the
+    /// pending sample.
+    pub fn apply_labels(
+        &mut self,
+        trainer: &dyn Trainer,
+        learner: &mut Learner,
+        labels: &[bool],
+    ) -> Result<&IterationMetrics, StepError> {
+        let expected = match &self.pending {
+            Some(p) => p.sample.len(),
+            None => return Err(StepError::NothingPending),
+        };
+        if labels.len() != expected {
+            return Err(StepError::LabelCount {
+                expected,
+                got: labels.len(),
+            });
+        }
+        let Some(pending) = self.pending.take() else {
+            return Err(StepError::NothingPending);
+        };
+        let PendingInteraction {
+            pairs,
+            sample,
+            h_policy,
+            predicted,
+        } = pending;
+
+        // The labeled evidence the learner receives: every within-sample
+        // pair relevant to at least one hypothesis-space FD, labeled by
+        // the trainer's per-tuple verdicts.
+        // Record the within-sample evidence for the history; what the
+        // learner actually consumes is governed by its EvidenceScope.
+        let labeled = labeled_sample_pairs(&self.table, &self.space, &sample, labels);
+        learner.absorb_interaction(&self.table, &pairs, &sample, labels);
+
+        let agreement = if sample.is_empty() {
+            1.0
+        } else {
+            predicted.iter().zip(labels).filter(|(p, a)| p == a).count() as f64
+                / sample.len() as f64
+        };
+        let dirty_now: usize = labels.iter().filter(|&&d| d).count();
+        self.dirty_total += dirty_now;
+        self.labels_total += sample.len();
+
+        let tc = trainer.confidences();
+        let lc = learner.confidences();
+        let learner_pred = predict_labels(&self.test_index, &lc, &self.test_eval_rows);
+        let trainer_pred = predict_labels(&self.test_index, &tc, &self.test_eval_rows);
+        let lm = ConfusionMatrix::from_predictions(&learner_pred, &self.test_dirty);
+        let tm = ConfusionMatrix::from_predictions(&trainer_pred, &self.test_dirty);
+
+        self.metrics.push(IterationMetrics {
+            t: self.t,
+            mae: mae(&tc, &lc),
+            learner_f1: lm.f1(),
+            learner_precision: lm.precision(),
+            learner_recall: lm.recall(),
+            trainer_f1: tm.f1(),
+            learner_drift: max_abs_diff(&self.prev_learner, &lc),
+            trainer_drift: max_abs_diff(&self.prev_trainer, &tc),
+            policy_entropy: h_policy,
+            dirty_labels: dirty_now,
+            phi_dirty: self.dirty_total as f64 / self.labels_total.max(1) as f64,
+            agreement,
+        });
+        self.history.push(Interaction {
+            t: self.t,
+            selected: pairs,
+            sample,
+            labels: labels.to_vec(),
+            labeled,
+        });
+        self.prev_trainer = tc;
+        self.prev_learner = lc;
+        self.t += 1;
+        Ok(&self.metrics[self.metrics.len() - 1])
+    }
+
+    /// The convergence summary over the iterations executed so far.
+    pub fn convergence_so_far(&self) -> ConvergenceReport {
+        convergence_report(&self.metrics, &self.cfg)
+    }
+
+    /// Finishes the session, consuming the state.
+    pub fn into_result(self) -> SessionResult {
+        let convergence = convergence_report(&self.metrics, &self.cfg);
+        SessionResult {
+            convergence,
+            trainer_confidences: self.prev_trainer,
+            learner_confidences: self.prev_learner,
+            metrics: self.metrics,
+            history: self.history,
+        }
+    }
+}
+
 /// A prepared session over one dataset.
 pub struct Session<'a> {
     table: &'a Table,
@@ -172,7 +693,8 @@ impl<'a> Session<'a> {
     /// Prepares a session.
     ///
     /// # Panics
-    /// Panics when `dirty_rows` does not align with the table.
+    /// Panics when `dirty_rows` does not align with the table or the
+    /// configuration fails [`SessionConfig::validate`].
     pub fn new(
         table: &'a Table,
         space: Arc<HypothesisSpace>,
@@ -184,7 +706,8 @@ impl<'a> Session<'a> {
             table.nrows(),
             "ground-truth dirty flags must align with the table"
         );
-        assert!(cfg.iterations > 0 && cfg.pairs_per_iteration > 0);
+        let validated = cfg.validate();
+        assert!(validated.is_ok(), "invalid session config: {validated:?}");
         Self {
             table,
             space,
@@ -195,151 +718,35 @@ impl<'a> Session<'a> {
 
     /// Runs the game between `trainer` and `learner`.
     pub fn run(&self, trainer: &mut dyn Trainer, learner: &mut Learner) -> SessionResult {
-        let (train_rows, test_rows) =
-            split_rows(self.table.nrows(), self.cfg.test_frac, self.cfg.seed);
-        let in_train = {
-            let mut mask = vec![false; self.table.nrows()];
-            for &r in &train_rows {
-                mask[r] = true;
-            }
-            mask
+        // `new` validated the config and flag alignment, so state
+        // construction cannot fail.
+        let Ok(mut st) = SessionState::new(
+            self.table.clone(),
+            self.space.clone(),
+            self.dirty_rows,
+            self.cfg.clone(),
+            trainer,
+            learner,
+        ) else {
+            unreachable!("Session::new validated the configuration")
         };
-
-        // Held-out evaluation context: violations within the test subset.
-        let test_table = self.table.subset(&test_rows);
-        let test_index = ViolationIndex::build(&test_table, &self.space);
-        let test_dirty: Vec<bool> = test_rows.iter().map(|&r| self.dirty_rows[r]).collect();
-        let test_eval_rows: Vec<usize> = (0..test_rows.len()).collect();
-
-        // Dataset-wide violation index for strategy scoring (the paper's
-        // tuple-level p(clean | θ) is judged against the whole dataset).
-        let score_index = ViolationIndex::build(self.table, &self.space);
-
-        // Candidate pool restricted to training rows.
-        let pool = CandidatePool::build(self.table, &self.space, self.cfg.pool_cap, self.cfg.seed);
-        let pool = CandidatePool::from_pairs(
-            pool.pairs()
-                .iter()
-                .copied()
-                .filter(|p| in_train[p.a] && in_train[p.b])
-                .collect(),
-        );
-
-        let mut metrics = Vec::with_capacity(self.cfg.iterations);
-        let mut history = Vec::with_capacity(self.cfg.iterations);
-        let mut prev_trainer = trainer.confidences();
-        let mut prev_learner = learner.confidences();
-        let mut labels_total = 0usize;
-        let mut dirty_total = 0usize;
-
-        for t in 0..self.cfg.iterations {
-            // Policy distribution before selection (for entropy accounting).
-            let (_, dist) = learner.policy_over_fresh(
-                self.table,
-                Some(&score_index),
-                &pool,
-                self.cfg.pairs_per_iteration,
-            );
-            let h_policy = policy_entropy(&dist);
-
-            let pairs = learner.select(
-                self.table,
-                Some(&score_index),
-                &pool,
-                self.cfg.pairs_per_iteration,
-            );
-            if pairs.is_empty() {
-                break; // pool exhausted
-            }
-
-            // The presented sample: the distinct tuples of the selected
-            // pairs (k pairs -> up to 2k tuples, the paper's k = 10).
-            let mut sample: Vec<usize> = Vec::with_capacity(pairs.len() * 2);
-            for p in &pairs {
-                for r in [p.a, p.b] {
-                    if !sample.contains(&r) {
-                        sample.push(r);
-                    }
-                }
-            }
-
-            // Learner's pre-update predicted labels on the sample, for the
-            // agreement metric.
-            let learner_conf_pre = learner.confidences();
-            let sub = self.table.subset(&sample);
-            let sub_index = ViolationIndex::build(&sub, &self.space);
-            let local_rows: Vec<usize> = (0..sample.len()).collect();
-            let predicted = predict_labels(&sub_index, &learner_conf_pre, &local_rows);
-
-            let tuple_labels = trainer.respond(self.table, &sample);
-            debug_assert_eq!(tuple_labels.len(), sample.len());
-
-            // The labeled evidence the learner receives: every within-sample
-            // pair relevant to at least one hypothesis-space FD, labeled by
-            // the trainer's per-tuple verdicts.
-            // Record the within-sample evidence for the history; what the
-            // learner actually consumes is governed by its EvidenceScope.
-            let labeled = labeled_sample_pairs(self.table, &self.space, &sample, &tuple_labels);
-            learner.absorb_interaction(self.table, &pairs, &sample, &tuple_labels);
-
-            let agreement = if sample.is_empty() {
-                1.0
-            } else {
-                predicted
-                    .iter()
-                    .zip(&tuple_labels)
-                    .filter(|(p, a)| p == a)
-                    .count() as f64
-                    / sample.len() as f64
+        while let Ok(Some(_)) = st.present(learner) {
+            let Ok(labels) = st.label_pending(trainer) else {
+                break;
             };
-            let dirty_now: usize = tuple_labels.iter().filter(|&&d| d).count();
-            dirty_total += dirty_now;
-            labels_total += sample.len();
-
-            let tc = trainer.confidences();
-            let lc = learner.confidences();
-            let learner_pred = predict_labels(&test_index, &lc, &test_eval_rows);
-            let trainer_pred = predict_labels(&test_index, &tc, &test_eval_rows);
-            let lm = ConfusionMatrix::from_predictions(&learner_pred, &test_dirty);
-            let tm = ConfusionMatrix::from_predictions(&trainer_pred, &test_dirty);
-
-            metrics.push(IterationMetrics {
-                t,
-                mae: mae(&tc, &lc),
-                learner_f1: lm.f1(),
-                learner_precision: lm.precision(),
-                learner_recall: lm.recall(),
-                trainer_f1: tm.f1(),
-                learner_drift: max_abs_diff(&prev_learner, &lc),
-                trainer_drift: max_abs_diff(&prev_trainer, &tc),
-                policy_entropy: h_policy,
-                dirty_labels: dirty_now,
-                phi_dirty: dirty_total as f64 / labels_total.max(1) as f64,
-                agreement,
-            });
-            history.push(Interaction {
-                t,
-                selected: pairs,
-                sample,
-                labels: tuple_labels,
-                labeled,
-            });
-            prev_trainer = tc;
-            prev_learner = lc;
+            if st.apply_labels(trainer, learner, &labels).is_err() {
+                break;
+            }
         }
-
-        let convergence = convergence_report(&metrics, &self.cfg);
-        SessionResult {
-            convergence,
-            trainer_confidences: prev_trainer,
-            learner_confidences: prev_learner,
-            metrics,
-            history,
-        }
+        st.into_result()
     }
 }
 
 /// Convenience wrapper: prepare and run in one call.
+///
+/// # Panics
+/// Panics when `dirty_rows` does not align with the table or the
+/// configuration fails [`SessionConfig::validate`] (see [`Session::new`]).
 pub fn run_session(
     table: &Table,
     space: Arc<HypothesisSpace>,
@@ -458,22 +865,31 @@ mod tests {
 
     use et_data::Table;
 
+    fn agents(
+        kind: StrategyKind,
+        table: &Table,
+        space: &Arc<HypothesisSpace>,
+    ) -> (FpTrainer, Learner) {
+        let prior_cfg = PriorConfig::weak();
+        let trainer_prior = build_prior(&PriorSpec::Random { seed: 3 }, &prior_cfg, space, table);
+        let learner_prior = build_prior(&PriorSpec::DataEstimate, &prior_cfg, space, table);
+        let trainer = FpTrainer::new(trainer_prior, EvidenceConfig::default());
+        let learner = Learner::new(
+            learner_prior,
+            ResponseStrategy::paper(kind),
+            EvidenceConfig::default(),
+            7,
+        );
+        (trainer, learner)
+    }
+
     fn run_with(
         kind: StrategyKind,
         table: &Table,
         dirty: &[bool],
         space: &Arc<HypothesisSpace>,
     ) -> SessionResult {
-        let prior_cfg = PriorConfig::weak();
-        let trainer_prior = build_prior(&PriorSpec::Random { seed: 3 }, &prior_cfg, space, table);
-        let learner_prior = build_prior(&PriorSpec::DataEstimate, &prior_cfg, space, table);
-        let mut trainer = FpTrainer::new(trainer_prior, EvidenceConfig::default());
-        let mut learner = Learner::new(
-            learner_prior,
-            ResponseStrategy::paper(kind),
-            EvidenceConfig::default(),
-            7,
-        );
+        let (mut trainer, mut learner) = agents(kind, table, space);
         run_session(
             table,
             space.clone(),
@@ -521,6 +937,246 @@ mod tests {
         let b = run_with(StrategyKind::StochasticBestResponse, &table, &dirty, &space);
         assert_eq!(a.mae_series(), b.mae_series());
         assert_eq!(a.learner_confidences, b.learner_confidences);
+    }
+
+    #[test]
+    fn step_api_reproduces_batch_exactly() {
+        let (table, dirty, space) = fixture();
+        let batch = run_with(StrategyKind::StochasticBestResponse, &table, &dirty, &space);
+
+        let (mut trainer, mut learner) =
+            agents(StrategyKind::StochasticBestResponse, &table, &space);
+        let mut st = SessionState::new(
+            table.clone(),
+            space.clone(),
+            &dirty,
+            SessionConfig::default(),
+            &trainer,
+            &learner,
+        )
+        .expect("valid config");
+        loop {
+            let presented = st.present(&mut learner).expect("in phase");
+            if presented.is_none() {
+                break;
+            }
+            let labels = st.label_pending(&mut trainer).expect("pending");
+            let _ = st
+                .apply_labels(&trainer, &mut learner, &labels)
+                .expect("aligned");
+        }
+        let stepped = st.into_result();
+        assert_eq!(batch.mae_series(), stepped.mae_series());
+        assert_eq!(batch.learner_confidences, stepped.learner_confidences);
+        assert_eq!(batch.trainer_confidences, stepped.trainer_confidences);
+        assert_eq!(
+            batch.convergence.converged_at,
+            stepped.convergence.converged_at
+        );
+        assert_eq!(batch.history.len(), stepped.history.len());
+    }
+
+    #[test]
+    fn step_api_enforces_phases() {
+        let (table, dirty, space) = fixture();
+        let (mut trainer, mut learner) = agents(StrategyKind::Random, &table, &space);
+        let mut st = SessionState::new(
+            table,
+            space,
+            &dirty,
+            SessionConfig::default(),
+            &trainer,
+            &learner,
+        )
+        .expect("valid config");
+
+        // No pending presentation yet.
+        assert_eq!(
+            st.label_pending(&mut trainer).err(),
+            Some(StepError::NothingPending)
+        );
+        assert_eq!(
+            st.apply_labels(&trainer, &mut learner, &[]).err(),
+            Some(StepError::NothingPending)
+        );
+
+        let sample_len = {
+            let p = st.present(&mut learner).expect("in phase").expect("pairs");
+            p.sample().len()
+        };
+        // Double-present is rejected while labels are outstanding.
+        assert_eq!(
+            st.present(&mut learner).err(),
+            Some(StepError::LabelsPending)
+        );
+        // Wrong label cardinality is rejected and the presentation survives.
+        assert_eq!(
+            st.apply_labels(&trainer, &mut learner, &[true]).err(),
+            Some(StepError::LabelCount {
+                expected: sample_len,
+                got: 1
+            })
+        );
+        assert!(st.pending().is_some());
+        let labels = st.label_pending(&mut trainer).expect("pending");
+        let m = st
+            .apply_labels(&trainer, &mut learner, &labels)
+            .expect("aligned");
+        assert_eq!(m.t, 0);
+        assert!(st.pending().is_none());
+        assert_eq!(st.iterations_done(), 1);
+    }
+
+    #[test]
+    fn external_labels_drive_a_session() {
+        // An "annotator" that always says clean: the session still advances
+        // and records metrics (the remote-annotator path of et-serve).
+        let (table, dirty, space) = fixture();
+        let (mut trainer, mut learner) = agents(StrategyKind::Random, &table, &space);
+        let mut st = SessionState::new(
+            table,
+            space,
+            &dirty,
+            SessionConfig {
+                iterations: 4,
+                ..SessionConfig::default()
+            },
+            &trainer,
+            &learner,
+        )
+        .expect("valid config");
+        while let Some(n) = st
+            .present(&mut learner)
+            .expect("in phase")
+            .map(|p| p.sample().len())
+        {
+            // Keep the trainer's model tracking the data it observes even
+            // though its labels are overridden.
+            let _ = st.label_pending(&mut trainer).expect("pending");
+            let _ = st
+                .apply_labels(&trainer, &mut learner, &vec![false; n])
+                .expect("aligned");
+        }
+        assert_eq!(st.metrics().len(), 4);
+        assert!(st.metrics().iter().all(|m| m.dirty_labels == 0));
+    }
+
+    #[test]
+    fn config_validation_catches_degenerate_values() {
+        let ok = SessionConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let cases = [
+            (
+                SessionConfig {
+                    iterations: 0,
+                    ..SessionConfig::default()
+                },
+                ConfigError::ZeroIterations,
+            ),
+            (
+                SessionConfig {
+                    pairs_per_iteration: 0,
+                    ..SessionConfig::default()
+                },
+                ConfigError::ZeroPairsPerIteration,
+            ),
+            (
+                SessionConfig {
+                    test_frac: 0.0,
+                    ..SessionConfig::default()
+                },
+                ConfigError::TestFracOutOfRange(0.0),
+            ),
+            (
+                SessionConfig {
+                    test_frac: 1.5,
+                    ..SessionConfig::default()
+                },
+                ConfigError::TestFracOutOfRange(1.5),
+            ),
+            (
+                SessionConfig {
+                    pool_cap: 0,
+                    ..SessionConfig::default()
+                },
+                ConfigError::ZeroPoolCap,
+            ),
+            (
+                SessionConfig {
+                    stability_window: 0,
+                    ..SessionConfig::default()
+                },
+                ConfigError::ZeroStabilityWindow,
+            ),
+            (
+                SessionConfig {
+                    eps_drift: -1.0,
+                    ..SessionConfig::default()
+                },
+                ConfigError::BadEpsDrift(-1.0),
+            ),
+        ];
+        for (cfg, want) in cases {
+            assert_eq!(cfg.validate(), Err(want.clone()), "{want:?}");
+        }
+        // NaN test_frac fails the open-interval check.
+        assert!(SessionConfig {
+            test_frac: f64::NAN,
+            ..SessionConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid session config")]
+    fn run_session_rejects_invalid_config() {
+        let (table, dirty, space) = fixture();
+        let (mut trainer, mut learner) = agents(StrategyKind::Random, &table, &space);
+        let _ = run_session(
+            &table,
+            space,
+            &dirty,
+            SessionConfig {
+                test_frac: 2.0,
+                ..SessionConfig::default()
+            },
+            &mut trainer,
+            &mut learner,
+        );
+    }
+
+    #[test]
+    fn session_state_reports_typed_errors() {
+        let (table, dirty, space) = fixture();
+        let (trainer, learner) = agents(StrategyKind::Random, &table, &space);
+        let bad_cfg = SessionState::new(
+            table.clone(),
+            space.clone(),
+            &dirty,
+            SessionConfig {
+                iterations: 0,
+                ..SessionConfig::default()
+            },
+            &trainer,
+            &learner,
+        );
+        assert!(matches!(
+            bad_cfg.err(),
+            Some(SessionError::Config(ConfigError::ZeroIterations))
+        ));
+        let misaligned = SessionState::new(
+            table,
+            space,
+            &[true],
+            SessionConfig::default(),
+            &trainer,
+            &learner,
+        );
+        assert!(matches!(
+            misaligned.err(),
+            Some(SessionError::DirtyRowsMismatch { flags: 1, .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! The `load_smoke` binary: an in-process server driven by N concurrent
+//! wire clients, each running one session to completion across the paper's
+//! strategy set. Exits non-zero unless every session finishes its full
+//! iteration budget with a falling MAE curve.
+//!
+//! ```text
+//! load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+
+use et_core::StrategyKind;
+use et_serve::{spawn, Client, CreateSessionSpec, ServerConfig};
+
+struct Options {
+    sessions: usize,
+    iterations: usize,
+    rows: usize,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            sessions: 6,
+            iterations: 8,
+            rows: 120,
+            seed: 2026,
+        }
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        let parsed: u64 = value
+            .parse()
+            .map_err(|_| format!("{flag} must be a number, got {value:?}"))?;
+        match flag {
+            "--sessions" => opts.sessions = parsed as usize,
+            "--iterations" => opts.iterations = parsed as usize,
+            "--rows" => opts.rows = parsed as usize,
+            "--seed" => opts.seed = parsed,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    if opts.sessions == 0 {
+        return Err("--sessions must be positive".to_string());
+    }
+    Ok(opts)
+}
+
+fn drive_one(addr: &str, spec: CreateSessionSpec) -> Result<(usize, f64, f64), String> {
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let (session, seed) = client.create_session(&spec).map_err(|e| e.to_string())?;
+    let outcome = client
+        .drive_auto(session, seed)
+        .map_err(|e| e.to_string())?;
+    client.close_session(session).map_err(|e| e.to_string())?;
+    let first = outcome
+        .mae_series
+        .first()
+        .copied()
+        .ok_or_else(|| "empty MAE series".to_string())?;
+    Ok((outcome.iterations_run, first, outcome.final_mae))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("load_smoke: {msg}");
+            eprintln!("usage: load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // One worker per client: every connection stays open for its whole
+    // session.
+    let mut cfg = ServerConfig {
+        workers: opts.sessions,
+        ..ServerConfig::default()
+    };
+    cfg.store.capacity = opts.sessions;
+    cfg.store.base_seed = opts.seed;
+    let handle = match spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("load_smoke: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr().to_string();
+    println!(
+        "driving {} concurrent sessions ({} iterations each) against {addr}",
+        opts.sessions, opts.iterations
+    );
+
+    let strategies = StrategyKind::PAPER_METHODS;
+    let mut joins = Vec::with_capacity(opts.sessions);
+    for i in 0..opts.sessions {
+        let addr = addr.clone();
+        let spec = CreateSessionSpec {
+            strategy: strategies[i % strategies.len()],
+            rows: opts.rows,
+            iterations: opts.iterations,
+            seed: Some(opts.seed.wrapping_add(i as u64)),
+            ..CreateSessionSpec::default()
+        };
+        joins.push(std::thread::spawn(move || drive_one(&addr, spec)));
+    }
+
+    let mut failures = 0usize;
+    for (i, join) in joins.into_iter().enumerate() {
+        match join.join() {
+            Ok(Ok((iterations_run, first, last))) => {
+                let ok = iterations_run == opts.iterations && last < first;
+                println!(
+                    "session {i}: {iterations_run} iterations, MAE {first:.4} -> {last:.4} {}",
+                    if ok { "ok" } else { "FAIL" }
+                );
+                if !ok {
+                    failures += 1;
+                }
+            }
+            Ok(Err(msg)) => {
+                println!("session {i}: FAIL ({msg})");
+                failures += 1;
+            }
+            Err(_) => {
+                println!("session {i}: FAIL (client thread panicked)");
+                failures += 1;
+            }
+        }
+    }
+
+    if let Ok(mut c) = Client::connect(&addr) {
+        let _ = c.shutdown_server();
+    }
+    handle.wait();
+
+    if failures > 0 {
+        eprintln!(
+            "load_smoke: {failures} of {} sessions failed",
+            opts.sessions
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("all {} sessions converged", opts.sessions);
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,77 @@
+//! The `serve` binary: bind the session service and run until a wire
+//! `shutdown` request (or a fatal bind error).
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--capacity N]
+//!       [--idle-timeout-secs N] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use et_serve::{spawn, ServerConfig};
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        match flag {
+            "--addr" => cfg.addr = value.clone(),
+            "--workers" => {
+                cfg.workers = value
+                    .parse()
+                    .map_err(|_| format!("--workers must be a number, got {value:?}"))?;
+            }
+            "--capacity" => {
+                cfg.store.capacity = value
+                    .parse()
+                    .map_err(|_| format!("--capacity must be a number, got {value:?}"))?;
+            }
+            "--idle-timeout-secs" => {
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--idle-timeout-secs must be a number, got {value:?}"))?;
+                cfg.store.idle_timeout = Duration::from_secs(secs);
+            }
+            "--seed" => {
+                cfg.store.base_seed = value
+                    .parse()
+                    .map_err(|_| format!("--seed must be a number, got {value:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 2;
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            eprintln!(
+                "usage: serve [--addr HOST:PORT] [--workers N] [--capacity N] \
+                 [--idle-timeout-secs N] [--seed N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let handle = match spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", handle.addr());
+    // Runs until a client sends {"op":"shutdown"}.
+    handle.wait();
+    println!("shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,41 @@
+//! `et-serve` — exploratory-training sessions as a network service.
+//!
+//! The paper's setting is interactive: a trainer labels the pairs an
+//! active learner presents, one interaction at a time. The rest of the
+//! workspace runs that dialogue as a closed in-process loop
+//! ([`et_core::run_session`]); this crate opens it up over TCP so a real
+//! annotator — or a remote load generator — can drive a session
+//! incrementally.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`json`] — a hand-rolled JSON value/encoder/parser (the build
+//!   resolves crates offline, so no serde). Number encoding is
+//!   shortest-round-trip, which makes wire-reported metrics *exactly*
+//!   comparable to batch results.
+//! * [`protocol`] — the newline-delimited request/response grammar with
+//!   typed error codes.
+//! * [`spec`] — `(spec, seed) → session parts`, the pure build pipeline
+//!   shared by the server and the batch reference path.
+//! * [`store`] — the sharded, capacity-bounded live-session map with
+//!   idle-timeout eviction.
+//! * [`server`] — the accept thread, worker pool, and graceful shutdown.
+//! * [`client`] — a small blocking client used by the example, the
+//!   load-smoke binary, and the integration tests.
+//!
+//! Protocol grammar and the session state machine are documented in
+//! DESIGN.md §9.
+
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+pub mod store;
+
+pub use client::{Client, ClientError, DriveOutcome};
+pub use json::{Json, JsonError};
+pub use protocol::{ErrorCode, Request, Response, WirePair};
+pub use server::{spawn, ServerConfig, ServerHandle};
+pub use spec::{build_parts, derive_seed, run_batch, CreateSessionSpec, SessionParts};
+pub use store::{SessionStore, StoreConfig, StoreError};

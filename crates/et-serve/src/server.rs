@@ -1,0 +1,411 @@
+//! The TCP server: an accept thread feeding a fixed worker pool over a
+//! channel, a shared [`SessionStore`], and graceful shutdown on a control
+//! signal (the wire `shutdown` op or [`ServerHandle::shutdown`]).
+//!
+//! Concurrency model: one connection is handled start-to-finish by one
+//! worker (connections are long-lived annotation dialogues, not one-shot
+//! RPCs), so the worker count bounds concurrent *clients*; concurrent
+//! *sessions* are bounded separately by the store capacity. All blocking
+//! reads carry short timeouts so every thread notices the stop flag
+//! within a fraction of a second.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::protocol::{ErrorCode, Request, Response, WirePair};
+use crate::store::{SessionStore, StoreConfig, StoreError};
+
+/// How often blocked threads wake to check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Server parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (= max concurrent client connections).
+    pub workers: usize,
+    /// Session-store limits and seeding.
+    pub store: StoreConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
+/// A handle to a running server: its bound address and its lifecycle.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_join: Option<JoinHandle<()>>,
+    worker_joins: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Raises the stop flag and unblocks the accept loop. Idempotent;
+    /// returns immediately — pair with [`ServerHandle::wait`].
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // A throwaway connection unblocks the accept() call so the
+        // listener thread can observe the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until every server thread has exited.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept_join.take() {
+            let _ = h.join();
+        }
+        for h in self.worker_joins.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+struct ServerCtx {
+    store: SessionStore,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerCtx {
+    /// Raises the stop flag and pokes the listener so the accept loop
+    /// (blocked in `accept`) wakes up and observes it.
+    fn begin_shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// Binds and starts the server; returns once the listener is live.
+///
+/// # Errors
+/// Propagates the bind failure.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let ctx = Arc::new(ServerCtx {
+        store: SessionStore::new(cfg.store),
+        stop: stop.clone(),
+        addr,
+    });
+
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let workers = cfg.workers.max(1);
+    let mut worker_joins = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let rx = rx.clone();
+        let ctx = ctx.clone();
+        worker_joins.push(std::thread::spawn(move || worker_loop(&rx, &ctx)));
+    }
+
+    let accept_stop = stop.clone();
+    let accept_join = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::Acquire) {
+                break;
+            }
+            if let Ok(stream) = conn {
+                // A send can only fail after the workers have exited,
+                // which only happens once the stop flag is up.
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+        }
+        // Dropping `tx` disconnects the channel; idle workers drain out.
+    });
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept_join: Some(accept_join),
+        worker_joins,
+    })
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Arc<ServerCtx>) {
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let next = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            guard.recv_timeout(POLL_INTERVAL)
+        };
+        match next {
+            Ok(stream) => handle_connection(stream, ctx),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Arc<ServerCtx>) {
+    // Short read timeouts keep the worker responsive to the stop flag even
+    // while a client sits idle mid-dialogue.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let mut line = String::new();
+    loop {
+        if ctx.stop.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let response = dispatch(trimmed, ctx);
+                    let mut out = response.encode();
+                    out.push('\n');
+                    if write_half.write_all(out.as_bytes()).is_err() || write_half.flush().is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout mid-wait: partial bytes (if any) stay appended in
+            // `line`; loop to re-check the stop flag and keep reading.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err((code, message)) => return Response::Error { code, message },
+    };
+    match request {
+        Request::Create(spec) => {
+            if ctx.stop.load(Ordering::Acquire) {
+                return err(ErrorCode::ShuttingDown, "server is draining");
+            }
+            match ctx.store.create(&spec) {
+                Ok((session, seed)) => {
+                    let details = ctx.store.with_session(session, |live| {
+                        (
+                            live.state.table().nrows(),
+                            live.state.space().len(),
+                            live.state.config().iterations,
+                        )
+                    });
+                    match details {
+                        Ok((rows, fds, iterations)) => Response::Created {
+                            session,
+                            rows,
+                            fds,
+                            iterations,
+                            seed,
+                        },
+                        Err(_) => err(ErrorCode::UnknownSession, "session vanished"),
+                    }
+                }
+                Err(StoreError::Busy) => err(ErrorCode::ServerBusy, "session store at capacity"),
+                Err(StoreError::Invalid(msg)) => Response::Error {
+                    code: ErrorCode::InvalidConfig,
+                    message: msg,
+                },
+                Err(StoreError::Unknown(id)) => {
+                    err(ErrorCode::UnknownSession, &format!("no session {id}"))
+                }
+            }
+        }
+        Request::NextPairs { session } => run_on_session(ctx, session, next_pairs),
+        Request::SubmitLabels { session, labels } => {
+            run_on_session(ctx, session, move |live| submit_labels(live, labels))
+        }
+        Request::Status { session: Some(id) } => run_on_session(ctx, id, |live| {
+            let report = live.state.convergence_so_far();
+            Response::SessionStatus {
+                session: live.id,
+                iterations_done: live.state.iterations_done(),
+                iterations: live.state.config().iterations,
+                awaiting_labels: live.state.pending().is_some(),
+                mae_series: live.state.metrics().iter().map(|m| m.mae).collect(),
+                converged_at: report.converged_at,
+            }
+        }),
+        Request::Status { session: None } => {
+            let snap = ctx.store.snapshot();
+            Response::ServerStatus {
+                live_sessions: snap.live_sessions,
+                capacity: snap.capacity,
+                created_total: snap.counters.created_total,
+                evicted_total: snap.counters.evicted_total,
+                busy_rejections: snap.counters.busy_rejections,
+            }
+        }
+        Request::Close { session } => match ctx.store.remove(session) {
+            Ok(()) => Response::Closed { session },
+            Err(_) => err(ErrorCode::UnknownSession, &format!("no session {session}")),
+        },
+        Request::Shutdown => {
+            ctx.begin_shutdown();
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn err(code: ErrorCode, message: &str) -> Response {
+    Response::Error {
+        code,
+        message: message.to_string(),
+    }
+}
+
+fn run_on_session(
+    ctx: &Arc<ServerCtx>,
+    session: u64,
+    f: impl FnOnce(&mut crate::store::LiveSession) -> Response,
+) -> Response {
+    match ctx.store.with_session(session, f) {
+        Ok(resp) => resp,
+        Err(_) => err(ErrorCode::UnknownSession, &format!("no session {session}")),
+    }
+}
+
+fn done_reply(live: &crate::store::LiveSession) -> Response {
+    let report = live.state.convergence_so_far();
+    Response::Done {
+        session: live.id,
+        iterations_run: live.state.iterations_done(),
+        converged_at: report.converged_at,
+        final_mae: report.final_mae,
+    }
+}
+
+fn pairs_reply(live: &crate::store::LiveSession) -> Response {
+    let Some(pending) = live.state.pending() else {
+        return err(ErrorCode::WrongPhase, "no pending presentation");
+    };
+    let pairs: Vec<WirePair> = pending
+        .pairs()
+        .iter()
+        .map(|p| WirePair { a: p.a, b: p.b })
+        .collect();
+    let sample = pending.sample().to_vec();
+    let tuples = sample
+        .iter()
+        .map(|&r| live.state.table().row_texts(r).join(" | "))
+        .collect();
+    Response::Pairs {
+        session: live.id,
+        t: live.state.iterations_done(),
+        pairs,
+        sample,
+        tuples,
+    }
+}
+
+fn next_pairs(live: &mut crate::store::LiveSession) -> Response {
+    // Idempotent: an unanswered presentation is re-served, so a client that
+    // lost a reply can simply ask again.
+    if live.state.pending().is_some() {
+        return pairs_reply(live);
+    }
+    enum Outcome {
+        Presented,
+        Complete,
+        OutOfPhase,
+    }
+    let outcome = {
+        let crate::store::LiveSession { state, learner, .. } = live;
+        match state.present(learner) {
+            Ok(Some(_)) => Outcome::Presented,
+            Ok(None) => Outcome::Complete,
+            Err(_) => Outcome::OutOfPhase,
+        }
+    };
+    match outcome {
+        Outcome::Presented => pairs_reply(live),
+        Outcome::Complete => {
+            live.reported_done = true;
+            done_reply(live)
+        }
+        Outcome::OutOfPhase => err(ErrorCode::WrongPhase, "labels are pending"),
+    }
+}
+
+fn submit_labels(live: &mut crate::store::LiveSession, labels: Option<Vec<bool>>) -> Response {
+    let Some(expected) = live.state.pending().map(|p| p.sample().len()) else {
+        return err(
+            ErrorCode::WrongPhase,
+            "no pending presentation; call next_pairs first",
+        );
+    };
+    // Validate caller-supplied labels *before* the trainer observes the
+    // sample, so a rejected submit leaves the session untouched and
+    // retryable.
+    if let Some(supplied) = &labels {
+        if supplied.len() != expected {
+            return err(
+                ErrorCode::WrongPhase,
+                &format!(
+                    "expected {expected} labels (one per sample tuple), got {}",
+                    supplied.len()
+                ),
+            );
+        }
+    }
+    let session = live.id;
+    let crate::store::LiveSession {
+        state,
+        trainer,
+        learner,
+        ..
+    } = live;
+    // The hosted annotator always observes the presented sample (its belief
+    // tracks the data); its labels are used unless the caller supplied
+    // their own.
+    let hosted = match state.label_pending(trainer) {
+        Ok(l) => l,
+        Err(e) => return err(ErrorCode::WrongPhase, &e.to_string()),
+    };
+    let applied = labels.unwrap_or(hosted);
+    match state.apply_labels(trainer, learner, &applied) {
+        Ok(metrics) => Response::Labeled {
+            session,
+            labels: applied,
+            metrics: metrics.clone(),
+        },
+        Err(e) => err(ErrorCode::WrongPhase, &e.to_string()),
+    }
+}

@@ -1,0 +1,379 @@
+//! The live-session store: a sharded, capacity-bounded map of resumable
+//! sessions with idle-timeout eviction.
+//!
+//! Sharding keeps lock contention proportional to concurrent *sessions on
+//! the same shard* rather than to total traffic: each session id hashes to
+//! one `Mutex<HashMap>` shard, so two workers driving different sessions
+//! almost never serialize on a lock. Capacity and lifetime counters live
+//! in atomics beside the shards.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use et_core::{FpTrainer, Learner, SessionState};
+
+use crate::spec::{build_parts, derive_seed, CreateSessionSpec};
+
+/// One live session: the resumable state plus its agents and bookkeeping.
+pub struct LiveSession {
+    /// Session id.
+    pub id: u64,
+    /// The seed the session runs under.
+    pub seed: u64,
+    /// The resumable game state.
+    pub state: SessionState,
+    /// The hosted simulated annotator.
+    pub trainer: FpTrainer,
+    /// The active learner.
+    pub learner: Learner,
+    /// Last time a request touched this session (drives eviction).
+    pub last_touch: Instant,
+    /// Whether the terminal `done` reply has been produced.
+    pub reported_done: bool,
+}
+
+/// Store limits and seeding.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Maximum live sessions; creates beyond this get `ServerBusy`.
+    pub capacity: usize,
+    /// Shard count (locks); a small power of two is plenty.
+    pub shards: usize,
+    /// Sessions idle longer than this are evicted lazily.
+    pub idle_timeout: Duration,
+    /// Base seed for per-session seed derivation.
+    pub base_seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 64,
+            shards: 8,
+            idle_timeout: Duration::from_secs(300),
+            base_seed: 0,
+        }
+    }
+}
+
+/// Why a create or lookup failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store is at capacity.
+    Busy,
+    /// No live session has this id.
+    Unknown(u64),
+    /// The spec or derived config was rejected.
+    Invalid(String),
+}
+
+/// Monotonic lifetime counters (exposed via the `status` op).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreCounters {
+    /// Sessions created since start.
+    pub created_total: u64,
+    /// Sessions evicted for idleness since start.
+    pub evicted_total: u64,
+    /// Creates refused at capacity since start.
+    pub busy_rejections: u64,
+}
+
+/// Snapshot of store occupancy plus counters.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreSnapshot {
+    /// Live sessions right now.
+    pub live_sessions: usize,
+    /// Capacity bound.
+    pub capacity: usize,
+    /// Lifetime counters.
+    pub counters: StoreCounters,
+}
+
+/// The sharded store.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<u64, LiveSession>>>,
+    cfg: StoreConfig,
+    next_id: AtomicU64,
+    live: AtomicUsize,
+    created_total: AtomicU64,
+    evicted_total: AtomicU64,
+    busy_rejections: AtomicU64,
+}
+
+/// Recovers the guard from a poisoned mutex: shard state is a plain map,
+/// valid regardless of where a holder panicked, so the data is still safe
+/// to use.
+fn lock_shard(
+    m: &Mutex<HashMap<u64, LiveSession>>,
+) -> std::sync::MutexGuard<'_, HashMap<u64, LiveSession>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl SessionStore {
+    /// Creates an empty store.
+    pub fn new(cfg: StoreConfig) -> Self {
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect();
+        Self {
+            shards,
+            cfg,
+            next_id: AtomicU64::new(1),
+            live: AtomicUsize::new(0),
+            created_total: AtomicU64::new(0),
+            evicted_total: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, LiveSession>> {
+        // SplitMix-style spread so sequential ids land on distinct shards.
+        let mut z = id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 29;
+        &self.shards[(z as usize) % self.shards.len()]
+    }
+
+    /// Builds and registers a new session.
+    ///
+    /// # Errors
+    /// [`StoreError::Busy`] at capacity, [`StoreError::Invalid`] when the
+    /// spec is rejected.
+    pub fn create(&self, spec: &CreateSessionSpec) -> Result<(u64, u64), StoreError> {
+        // Reject malformed specs before touching capacity: a bad request
+        // should read as bad regardless of load. (The seed does not affect
+        // validity, so 0 stands in for the not-yet-derived one.)
+        spec.validate().map_err(StoreError::Invalid)?;
+        spec.session_config(0)
+            .validate()
+            .map_err(|e| StoreError::Invalid(e.to_string()))?;
+        self.evict_idle();
+        // Reserve a slot atomically so concurrent creates cannot overshoot
+        // capacity between check and insert.
+        let reserved = self
+            .live
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |live| {
+                if live < self.cfg.capacity {
+                    Some(live + 1)
+                } else {
+                    None
+                }
+            });
+        if reserved.is_err() {
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(StoreError::Busy);
+        }
+        let release = |store: &SessionStore| {
+            store.live.fetch_sub(1, Ordering::AcqRel);
+        };
+
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let seed = spec
+            .seed
+            .unwrap_or_else(|| derive_seed(self.cfg.base_seed, id));
+        let parts = match build_parts(spec, seed) {
+            Ok(p) => p,
+            Err(msg) => {
+                release(self);
+                return Err(StoreError::Invalid(msg));
+            }
+        };
+        let state = match SessionState::new(
+            parts.table,
+            parts.space,
+            &parts.dirty_rows,
+            parts.cfg,
+            &parts.trainer,
+            &parts.learner,
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                release(self);
+                return Err(StoreError::Invalid(e.to_string()));
+            }
+        };
+        let live = LiveSession {
+            id,
+            seed,
+            state,
+            trainer: parts.trainer,
+            learner: parts.learner,
+            last_touch: Instant::now(),
+            reported_done: false,
+        };
+        lock_shard(self.shard_of(id)).insert(id, live);
+        self.created_total.fetch_add(1, Ordering::Relaxed);
+        Ok((id, seed))
+    }
+
+    /// Runs `f` over the live session `id`, refreshing its idle clock.
+    ///
+    /// # Errors
+    /// [`StoreError::Unknown`] when no live session has this id.
+    pub fn with_session<R>(
+        &self,
+        id: u64,
+        f: impl FnOnce(&mut LiveSession) -> R,
+    ) -> Result<R, StoreError> {
+        let mut shard = lock_shard(self.shard_of(id));
+        match shard.get_mut(&id) {
+            Some(live) => {
+                live.last_touch = Instant::now();
+                Ok(f(live))
+            }
+            None => Err(StoreError::Unknown(id)),
+        }
+    }
+
+    /// Drops the session `id`.
+    ///
+    /// # Errors
+    /// [`StoreError::Unknown`] when no live session has this id.
+    pub fn remove(&self, id: u64) -> Result<(), StoreError> {
+        let removed = lock_shard(self.shard_of(id)).remove(&id);
+        match removed {
+            Some(_) => {
+                self.live.fetch_sub(1, Ordering::AcqRel);
+                Ok(())
+            }
+            None => Err(StoreError::Unknown(id)),
+        }
+    }
+
+    /// Evicts every session idle longer than the configured timeout.
+    /// Called lazily on each create (no background reaper thread needed:
+    /// a full store is the only state where eviction matters).
+    pub fn evict_idle(&self) -> usize {
+        let now = Instant::now();
+        let mut evicted = 0usize;
+        for shard in &self.shards {
+            let mut shard = lock_shard(shard);
+            let stale: Vec<u64> = shard
+                .iter()
+                .filter(|(_, s)| now.duration_since(s.last_touch) > self.cfg.idle_timeout)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in stale {
+                shard.remove(&id);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.live.fetch_sub(evicted, Ordering::AcqRel);
+            self.evicted_total
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        evicted
+    }
+
+    /// Occupancy and counters right now.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            live_sessions: self.live.load(Ordering::Acquire),
+            capacity: self.cfg.capacity,
+            counters: StoreCounters {
+                created_total: self.created_total.load(Ordering::Relaxed),
+                evicted_total: self.evicted_total.load(Ordering::Relaxed),
+                busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    /// The configured idle timeout.
+    pub fn idle_timeout(&self) -> Duration {
+        self.cfg.idle_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_spec() -> CreateSessionSpec {
+        CreateSessionSpec {
+            rows: 60,
+            iterations: 2,
+            ..CreateSessionSpec::default()
+        }
+    }
+
+    fn quick_store(capacity: usize, idle: Duration) -> SessionStore {
+        SessionStore::new(StoreConfig {
+            capacity,
+            shards: 4,
+            idle_timeout: idle,
+            base_seed: 11,
+        })
+    }
+
+    #[test]
+    fn create_touch_remove_lifecycle() {
+        let store = quick_store(4, Duration::from_secs(60));
+        let (id, seed) = store.create(&quick_spec()).expect("creates");
+        assert_eq!(seed, derive_seed(11, id));
+        assert_eq!(store.snapshot().live_sessions, 1);
+        let iters = store
+            .with_session(id, |s| s.state.config().iterations)
+            .expect("live");
+        assert_eq!(iters, 2);
+        store.remove(id).expect("removes");
+        assert_eq!(store.snapshot().live_sessions, 0);
+        assert!(matches!(
+            store.with_session(id, |_| ()),
+            Err(StoreError::Unknown(_))
+        ));
+        assert!(matches!(store.remove(id), Err(StoreError::Unknown(_))));
+    }
+
+    #[test]
+    fn explicit_seed_wins_over_derivation() {
+        let store = quick_store(4, Duration::from_secs(60));
+        let spec = CreateSessionSpec {
+            seed: Some(777),
+            ..quick_spec()
+        };
+        let (_, seed) = store.create(&spec).expect("creates");
+        assert_eq!(seed, 777);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let store = quick_store(2, Duration::from_secs(60));
+        let (first, _) = store.create(&quick_spec()).expect("first");
+        store.create(&quick_spec()).expect("second");
+        assert_eq!(store.create(&quick_spec()), Err(StoreError::Busy));
+        assert_eq!(store.snapshot().counters.busy_rejections, 1);
+        // Freeing a slot lets the next create through.
+        store.remove(first).expect("removes");
+        store.create(&quick_spec()).expect("after free");
+    }
+
+    #[test]
+    fn invalid_spec_does_not_leak_capacity() {
+        let store = quick_store(1, Duration::from_secs(60));
+        let bad = CreateSessionSpec {
+            degree: 2.0,
+            ..quick_spec()
+        };
+        assert!(matches!(store.create(&bad), Err(StoreError::Invalid(_))));
+        // The reserved slot was released: a valid create still fits.
+        store.create(&quick_spec()).expect("slot was released");
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let store = quick_store(4, Duration::from_millis(20));
+        let (id, _) = store.create(&quick_spec()).expect("creates");
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(store.evict_idle(), 1);
+        assert!(matches!(
+            store.with_session(id, |_| ()),
+            Err(StoreError::Unknown(_))
+        ));
+        assert_eq!(store.snapshot().counters.evicted_total, 1);
+    }
+}

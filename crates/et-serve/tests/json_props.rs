@@ -1,0 +1,118 @@
+//! Property tests for the hand-rolled JSON module: arbitrary values
+//! round-trip through encode → parse unchanged, and malformed or truncated
+//! input always yields a typed error, never a panic.
+
+use et_serve::Json;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds an arbitrary JSON value from a seeded stream. Depth-bounded so
+/// generated values stay well inside the parser's nesting cap.
+fn arb_json(rng: &mut StdRng, depth: usize) -> Json {
+    let kinds = if depth == 0 { 4 } else { 6 };
+    match rng.gen_range(0..kinds) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.gen_bool(0.5)),
+        2 => {
+            // Mix of integers, fractions, and extreme magnitudes.
+            let n: f64 = match rng.gen_range(0..4) {
+                0 => rng.gen_range(-1_000_000i64..1_000_000) as f64,
+                1 => rng.gen_range(-1.0e3..1.0e3),
+                2 => rng.gen_range(-1.0..1.0) * 1.0e300,
+                _ => rng.gen_range(0.0..1.0) * 1.0e-300,
+            };
+            Json::Num(n)
+        }
+        3 => Json::Str(arb_string(rng)),
+        4 => {
+            let len = rng.gen_range(0..4usize);
+            Json::Arr((0..len).map(|_| arb_json(rng, depth - 1)).collect())
+        }
+        _ => {
+            let len = rng.gen_range(0..4usize);
+            Json::Obj(
+                (0..len)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", arb_string(rng)),
+                            arb_json(rng, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn arb_string(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..12usize);
+    (0..len)
+        .map(|_| {
+            // Bias toward characters that exercise escaping.
+            match rng.gen_range(0..6) {
+                0 => '"',
+                1 => '\\',
+                2 => '\n',
+                3 => char::from_u32(rng.gen_range(0u32..0x20)).unwrap_or('\u{1f}'),
+                4 => char::from_u32(rng.gen_range(0x1F600u32..0x1F640)).unwrap_or('😀'),
+                _ => char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap_or('x'),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode(v) parses back to exactly v — including f64 bits.
+    #[test]
+    fn encoded_values_round_trip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = arb_json(&mut rng, 3);
+        let encoded = v.encode();
+        let parsed = match Json::parse(&encoded) {
+            Ok(p) => p,
+            Err(e) => return Err(proptest::TestCaseError::fail(format!(
+                "round-trip parse failed: {e} on {encoded}"
+            ))),
+        };
+        prop_assert_eq!(&parsed, &v, "{}", encoded);
+    }
+
+    /// Arbitrary ASCII garbage never panics the parser.
+    #[test]
+    fn malformed_ascii_never_panics(bytes in proptest::collection::vec(0x20u8..0x7F, 0..64)) {
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = Json::parse(&text); // any Result is fine; panics fail the test
+    }
+
+    /// Every strict prefix of a valid encoding is either an error or (for
+    /// the rare self-delimiting prefix) parses without panicking.
+    #[test]
+    fn truncations_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoded = arb_json(&mut rng, 3).encode();
+        for cut in 0..encoded.len() {
+            if encoded.is_char_boundary(cut) {
+                let _ = Json::parse(&encoded[..cut]);
+            }
+        }
+    }
+
+    /// Numbers survive the wire with their exact bits (the server's
+    /// MAE-equality guarantee rests on this).
+    #[test]
+    fn numbers_round_trip_bit_exact(bits in any::<u64>()) {
+        let n = f64::from_bits(bits);
+        prop_assume!(n.is_finite());
+        let encoded = Json::Num(n).encode();
+        let back = match Json::parse(&encoded) {
+            Ok(v) => v.as_f64(),
+            Err(e) => return Err(proptest::TestCaseError::fail(format!(
+                "parse failed: {e} on {encoded}"
+            ))),
+        };
+        prop_assert_eq!(back.map(f64::to_bits), Some(n.to_bits()), "{}", encoded);
+    }
+}

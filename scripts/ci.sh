@@ -20,6 +20,10 @@ cargo run -q -p et-lint
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
+echo "==> et-serve bins + server integration test"
+cargo build -q --release -p et-serve --bins
+cargo test -q -p et-serve --test server_integration
+
 echo "==> invariant-checks feature armed (facade + gated crates)"
 cargo test -q --features invariant-checks
 cargo test -q -p et-fd --features invariant-checks

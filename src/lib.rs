@@ -35,4 +35,5 @@ pub use et_data as data;
 pub use et_experiments as experiments;
 pub use et_fd as fd;
 pub use et_metrics as metrics;
+pub use et_serve as serve;
 pub use et_userstudy as userstudy;
