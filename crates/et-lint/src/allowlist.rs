@@ -5,7 +5,7 @@
 //!
 //! ```toml
 //! [[allow]]
-//! rule = "L1"                       # required: L1 | L2 | L3 | L4
+//! rule = "L1"                       # required: any rule id, L1..L8
 //! path = "crates/et-data/src/x.rs"  # required: repo-relative, '/'-separated
 //! pattern = "best.expect"           # optional: substring of offending line
 //! line = 76                         # optional: exact 1-based line
@@ -141,7 +141,7 @@ impl PartialEntry {
         match key {
             "rule" => {
                 let v = unquote(value).ok_or_else(|| err("rule must be a string".into()))?;
-                if !matches!(v.as_str(), "L1" | "L2" | "L3" | "L4") {
+                if crate::rules::Rule::from_id(&v).is_none() {
                     return Err(err(format!("unknown rule `{v}`")));
                 }
                 self.rule = Some(v);

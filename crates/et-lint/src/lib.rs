@@ -20,6 +20,8 @@
 //! error.
 
 pub mod allowlist;
+pub mod conc_rules;
+pub mod lexer;
 pub mod mask;
 pub mod rules;
 
@@ -87,7 +89,7 @@ impl std::error::Error for EngineError {}
 /// Runs the engine over the workspace rooted at `root`.
 ///
 /// Scans `src/`, `tests/`, `examples/` at the root and `src/`, `tests/`,
-/// `benches/` of every crate under `crates/`. The `vendor/` tree (offline
+/// `benches/`, `examples/` of every crate under `crates/`. The `vendor/` tree (offline
 /// dependency shims that deliberately mirror foreign APIs) and `target/` are
 /// never scanned.
 pub fn run(root: &Path) -> Result<Report, EngineError> {
@@ -127,6 +129,7 @@ pub fn run(root: &Path) -> Result<Report, EngineError> {
             collect_rs(&crate_dir.join("src"), FileKind::Library, &mut files)?;
             collect_rs(&crate_dir.join("tests"), FileKind::TestLike, &mut files)?;
             collect_rs(&crate_dir.join("benches"), FileKind::TestLike, &mut files)?;
+            collect_rs(&crate_dir.join("examples"), FileKind::TestLike, &mut files)?;
         }
     }
 
@@ -320,6 +323,24 @@ mod tests {
         assert_eq!(report.suppressed, 1);
         assert_eq!(report.stale_allows, vec![1]);
         assert!(!report.is_clean(), "stale allow keeps the run dirty");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn crate_examples_are_scanned_as_test_like() {
+        let root = write_tree(&[(
+            "crates/a/examples/demo.rs",
+            // unwrap is fine in examples (TestLike), an unseeded RNG is not.
+            "fn main() { let _ = rand::thread_rng(); Some(1u32).unwrap(); }\n",
+        )]);
+        let report = run(&root).expect("runs");
+        let fired: Vec<&str> = report
+            .findings
+            .iter()
+            .map(|f| f.violation.rule.id())
+            .collect();
+        assert_eq!(fired, ["L2"], "{report:?}");
+        assert_eq!(report.files_scanned, 1);
         let _ = std::fs::remove_dir_all(&root);
     }
 

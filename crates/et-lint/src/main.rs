@@ -16,6 +16,18 @@ fn real_main() -> i32 {
                 et_lint::list_rules(&mut std::io::stdout());
                 return 0;
             }
+            "--explain" => {
+                let Some(id) = args.next() else {
+                    eprintln!("et-lint: --explain needs a rule id (L1..L8)");
+                    return 2;
+                };
+                let Some(rule) = et_lint::rules::Rule::from_id(&id) else {
+                    eprintln!("et-lint: unknown rule `{id}` (try --list-rules)");
+                    return 2;
+                };
+                println!("{} — {}\n\n{}", rule.id(), rule.describe(), rule.explain());
+                return 0;
+            }
             "--root" => {
                 let Some(dir) = args.next() else {
                     eprintln!("et-lint: --root needs a directory argument");
@@ -25,8 +37,12 @@ fn real_main() -> i32 {
             }
             "--help" | "-h" => {
                 println!(
-                    "et-lint — workspace lint engine (rules L1-L4)\n\n\
-                     USAGE: et-lint [--root <workspace-dir>] [--list-rules]\n\n\
+                    "et-lint — workspace lint engine (rules L1-L8)\n\n\
+                     USAGE: et-lint [--root <workspace-dir>] [--list-rules] \
+                     [--explain <RULE>]\n\n\
+                     --list-rules      one-line summary of every rule\n\
+                     --explain L<N>    full rationale and the vetted-exception \
+                     format for one rule\n\n\
                      Exit codes: 0 clean, 1 violations or stale allowlist \
                      entries, 2 configuration error.\n\
                      Allowlist: et-lint.toml at the workspace root."

@@ -85,12 +85,33 @@ pub fn mask(source: &str) -> Masked {
                     state = State::RawStr { hashes };
                     continue;
                 }
-                b'b' if next == Some(b'"') => {
+                b'b' if next == Some(b'"') && !prev_is_ident(bytes, i) => {
                     put(&mut code, &mut with_comments, b, false, false);
                     i += 1;
                     put(&mut code, &mut with_comments, bytes[i], false, false);
                     i += 1;
                     state = State::Str;
+                    continue;
+                }
+                // Raw byte strings `br"…"` / `br##"…"##`: raw semantics, no
+                // escape processing (a lone `\` must not eat the closing quote).
+                b'b' if next == Some(b'r')
+                    && !prev_is_ident(bytes, i)
+                    && raw_str_hashes(bytes, i + 2).is_some() =>
+                {
+                    let hashes = raw_str_hashes(bytes, i + 2).unwrap_or(0);
+                    put(&mut code, &mut with_comments, b, false, false);
+                    i += 1;
+                    put(&mut code, &mut with_comments, bytes[i], false, false);
+                    i += 1;
+                    for _ in 0..=hashes {
+                        // hashes then the opening quote
+                        if i < bytes.len() {
+                            put(&mut code, &mut with_comments, bytes[i], false, false);
+                            i += 1;
+                        }
+                    }
+                    state = State::RawStr { hashes };
                     continue;
                 }
                 b'\'' => {
@@ -304,5 +325,45 @@ mod tests {
         let m = mask("/* outer /* inner unwrap() */ still comment */ code()");
         assert!(!m.code.contains("unwrap"));
         assert!(m.code.contains("code()"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let m = mask("let s = r##\"quote \"# panic! \"##; x.unwrap();");
+        assert!(!m.code.contains("panic"), "{}", m.code);
+        assert_eq!(m.code.matches("unwrap").count(), 1, "{}", m.code);
+    }
+
+    #[test]
+    fn raw_byte_strings_have_no_escapes() {
+        // In `br"\"` the backslash is a literal byte and the string ends at
+        // the very next quote; escape processing would eat the terminator
+        // and swallow the unwrap after it.
+        let m = mask("let x = br\"\\\"; y.unwrap();");
+        assert_eq!(m.code.matches("unwrap").count(), 1, "{}", m.code);
+        let m = mask("let x = br#\"panic! \"quoted\" unwrap()\"#; real();");
+        assert!(!m.code.contains("panic"), "{}", m.code);
+        assert!(!m.code.contains("unwrap"), "{}", m.code);
+        assert!(m.code.contains("real()"), "{}", m.code);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let m = mask("let s = b\"unwrap()\"; let c = b'\\''; x.unwrap();");
+        assert_eq!(m.code.matches("unwrap").count(), 1, "{}", m.code);
+        // An identifier ending in `b` before a quote is not a byte string.
+        let m = mask("grab\"panic!\"; done();");
+        assert!(m.code.contains("grab"), "{}", m.code);
+        assert!(!m.code.contains("panic"), "{}", m.code);
+        assert!(m.code.contains("done()"), "{}", m.code);
+    }
+
+    #[test]
+    fn char_literal_containing_quote_does_not_open_string() {
+        // If the `'"'` quote leaked, the following real string's contents
+        // would be treated as code and `unwrap` would survive masking.
+        let m = mask("let c = '\"'; let s = \"unwrap()\"; fine();");
+        assert!(!m.code.contains("unwrap"), "{}", m.code);
+        assert!(m.code.contains("fine()"), "{}", m.code);
     }
 }

@@ -17,6 +17,14 @@ pub enum Rule {
     L3,
     /// Panicking `pub fn`s must document `# Panics`.
     L4,
+    /// No mutex guard held across a blocking call.
+    L5,
+    /// Atomic `Ordering` arguments need a trailing `// ord:` justification.
+    L6,
+    /// No truncating `as` casts between numeric types in library code.
+    L7,
+    /// No hash-container iteration feeding order-sensitive sinks.
+    L8,
 }
 
 impl Rule {
@@ -27,7 +35,16 @@ impl Rule {
             Rule::L2 => "L2",
             Rule::L3 => "L3",
             Rule::L4 => "L4",
+            Rule::L5 => "L5",
+            Rule::L6 => "L6",
+            Rule::L7 => "L7",
+            Rule::L8 => "L8",
         }
+    }
+
+    /// Parses a rule id.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::all().into_iter().find(|r| r.id() == id)
     }
 
     /// One-line description for `--list-rules`.
@@ -37,12 +54,148 @@ impl Rule {
             Rule::L2 => "no unseeded RNG (thread_rng/from_entropy/rand::random) anywhere",
             Rule::L3 => "no ==/!= between f64 expressions outside tests",
             Rule::L4 => "pub fns that can panic must carry a `# Panics` doc section",
+            Rule::L5 => {
+                "no mutex guard held across a blocking call (recv/accept/read_line/join/connect)"
+            }
+            Rule::L6 => "every atomic Ordering argument needs an `// ord:` justification comment",
+            Rule::L7 => "no truncating `as` casts between numeric types in library code",
+            Rule::L8 => "no HashMap/HashSet iteration feeding order-sensitive sinks unless sorted",
+        }
+    }
+
+    /// The full rationale plus the `et-lint.toml` exception format,
+    /// printed by `cargo lint -- --explain L<N>`.
+    pub fn explain(self) -> &'static str {
+        match self {
+            Rule::L1 => {
+                "L1 — no unwrap()/expect()/panic! in non-test library code.\n\n\
+                 Why: the reproduction's claims are floating-point and RNG-sensitive;\n\
+                 a panic in library code turns a recoverable bad input into a dead\n\
+                 worker thread, and under et-serve load that silently shrinks the\n\
+                 worker pool instead of failing a test. Return typed errors.\n\n\
+                 Exception: add to et-lint.toml when the invariant is structural\n\
+                 (provable from adjacent code) and a typed error would obscure it:\n\n\
+                 [[allow]]\n\
+                 rule = \"L1\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the offending line>\"\n\
+                 reason = \"<why the panic is unreachable>\""
+            }
+            Rule::L2 => {
+                "L2 — no unseeded RNG anywhere, tests included.\n\n\
+                 Why: every figure in the reproduction must be re-derivable from a\n\
+                 seed. thread_rng/from_entropy/rand::random draw OS entropy, so a\n\
+                 rerun can never bit-match and a flaky test can never be replayed.\n\
+                 Use StdRng::seed_from_u64 (or the session's SplitMix64 derivation).\n\n\
+                 Exception format (rarely justified):\n\n\
+                 [[allow]]\n\
+                 rule = \"L2\"\n\
+                 path = \"...\"\n\
+                 reason = \"...\""
+            }
+            Rule::L3 => {
+                "L3 — no ==/!= against f64 expressions outside tests.\n\n\
+                 Why: MAE curves and g1 measures accumulate rounding; exact float\n\
+                 equality encodes an assumption the math does not guarantee and\n\
+                 flips silently across optimization levels. Compare with an epsilon\n\
+                 or total_cmp. The rule is lexical; clippy::float_cmp is the precise\n\
+                 companion check.\n\n\
+                 Exception format:\n\n\
+                 [[allow]]\n\
+                 rule = \"L3\"\n\
+                 path = \"...\"\n\
+                 reason = \"...\""
+            }
+            Rule::L4 => {
+                "L4 — pub fns that can panic must carry a `# Panics` doc section.\n\n\
+                 Why: a caller in another crate cannot see an assert! in the body;\n\
+                 the doc section is the contract that makes the panic reviewable at\n\
+                 the call site.\n\n\
+                 Exception format:\n\n\
+                 [[allow]]\n\
+                 rule = \"L4\"\n\
+                 path = \"...\"\n\
+                 reason = \"e.g. doc inherited from trait\""
+            }
+            Rule::L5 => {
+                "L5 — no mutex guard held across a blocking call.\n\n\
+                 Why: et-serve shards its session store behind Mutex<HashMap>; a\n\
+                 guard held across recv/recv_timeout/accept/read_line/join or\n\
+                 TcpStream::connect stalls every thread contending for that shard\n\
+                 for the full wait. Nothing crashes — throughput just collapses,\n\
+                 which is exactly the failure mode functional tests cannot see.\n\
+                 Detection tracks `let g = ….lock()` bindings to the enclosing\n\
+                 block close (or an explicit drop(g)).\n\n\
+                 Exception: when the wait is deliberately inside the lock (e.g. a\n\
+                 shared-receiver worker pool with a bounded poll):\n\n\
+                 [[allow]]\n\
+                 rule = \"L5\"\n\
+                 path = \"crates/et-serve/src/server.rs\"\n\
+                 pattern = \"recv_timeout\"\n\
+                 reason = \"bounded 250ms poll; the guard must cover the recv by design\""
+            }
+            Rule::L6 => {
+                "L6 — every atomic Ordering argument carries an `// ord:`\n\
+                 justification, either trailing on the same line or as a\n\
+                 standalone comment on the line immediately above (the placement\n\
+                 rustfmt keeps for `{`-ending statements); an `// ord:` comment\n\
+                 that justifies no use is stale and also fires.\n\n\
+                 Why: the store mixes Relaxed counters with AcqRel capacity\n\
+                 reservation. A too-weak ordering loses counts only under real\n\
+                 concurrency, so the choice must be reviewable in place — the\n\
+                 comment states what the ordering synchronizes with, making drift\n\
+                 between code and justification a lint failure in both directions.\n\n\
+                 There is no allowlist escape for a missing justification: write\n\
+                 the comment. Format: `x.load(Ordering::Acquire); // ord: pairs\n\
+                 with the Release store in shutdown()`."
+            }
+            Rule::L7 => {
+                "L7 — no truncating `as` cast between numeric types in non-test\n\
+                 library code.\n\n\
+                 Why: `as` wraps silently. A u64 session counter cast to u32, or an\n\
+                 f64 metric cast to usize, corrupts figures and wire ids without a\n\
+                 panic. Use From (widening) or try_from (checked) instead. Source\n\
+                 types are inferred lexically (suffixes, cast chains, .len()/.round(),\n\
+                 float arithmetic in parens); unknown sources fire only on narrow\n\
+                 targets (u8/i8/u16/i16/u32/i32/f32).\n\n\
+                 Exception: when the value is bounded by construction:\n\n\
+                 [[allow]]\n\
+                 rule = \"L7\"\n\
+                 path = \"crates/et-fd/src/partitions.rs\"\n\
+                 pattern = \"row as u32\"\n\
+                 reason = \"row ids are u32 by design; tables are far below 2^32 rows\""
+            }
+            Rule::L8 => {
+                "L8 — no iteration over HashMap/HashSet whose items feed a return\n\
+                 value, Vec push, or serialization, unless sorted or rehomed into a\n\
+                 BTreeMap/BTreeSet.\n\n\
+                 Why: hash iteration order is randomized per process. Letting it\n\
+                 reach the wire or a replay file makes responses non-byte-stable, so\n\
+                 replays and golden files diverge run to run. Order-insensitive\n\
+                 reductions (sum/count/min/max/all/any/product) are exempt; a\n\
+                 `.sort*` on the collected result anywhere in the same block\n\
+                 satisfies the rule.\n\n\
+                 Exception: when downstream order is provably irrelevant:\n\n\
+                 [[allow]]\n\
+                 rule = \"L8\"\n\
+                 path = \"...\"\n\
+                 reason = \"collected ids are removed from the same map; order cannot escape\""
+            }
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 4] {
-        [Rule::L1, Rule::L2, Rule::L3, Rule::L4]
+    pub fn all() -> [Rule; 8] {
+        [
+            Rule::L1,
+            Rule::L2,
+            Rule::L3,
+            Rule::L4,
+            Rule::L5,
+            Rule::L6,
+            Rule::L7,
+            Rule::L8,
+        ]
     }
 }
 
@@ -66,6 +219,14 @@ pub enum FileKind {
     Library,
     /// Integration tests, benches, examples: only L2 applies.
     TestLike,
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items, computed on masked source
+/// (offsets are valid for the original because masking preserves length).
+/// Exposed for the token-level rule tests in [`crate::conc_rules`].
+#[cfg(test)]
+pub(crate) fn test_regions_for(source: &str) -> Vec<(usize, usize)> {
+    test_regions(&crate::mask::mask(source).code)
 }
 
 /// Byte ranges covered by `#[cfg(test)]` items.
@@ -103,7 +264,7 @@ fn find_from(haystack: &str, needle: &str, from: usize) -> Option<usize> {
     haystack.get(from..)?.find(needle).map(|p| p + from)
 }
 
-fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
+pub(crate) fn in_regions(regions: &[(usize, usize)], pos: usize) -> bool {
     regions.iter().any(|&(a, b)| pos >= a && pos < b)
 }
 
@@ -115,7 +276,7 @@ fn line_of(code: &str, pos: usize) -> usize {
         + 1
 }
 
-fn excerpt_line(original: &str, line: usize) -> String {
+pub(crate) fn excerpt_line(original: &str, line: usize) -> String {
     original
         .lines()
         .nth(line - 1)
@@ -154,7 +315,8 @@ fn token_positions(code: &str, token: &str) -> Vec<usize> {
     out
 }
 
-/// Runs every applicable rule over one masked file.
+/// Runs every applicable rule over one masked file: the line/mask rules
+/// L1–L4 here, then the token-level rules L5–L8 from [`crate::conc_rules`].
 pub fn check_file(masked: &Masked, original: &str, kind: FileKind) -> Vec<Violation> {
     let mut out = Vec::new();
     let regions = test_regions(&masked.code);
@@ -165,6 +327,8 @@ pub fn check_file(masked: &Masked, original: &str, kind: FileKind) -> Vec<Violat
         l3_float_eq(masked, original, &regions, &mut out);
         l4_panics_doc(masked, original, &regions, &mut out);
     }
+    let ts = crate::lexer::lex(original);
+    crate::conc_rules::check(&ts, original, &regions, kind, &mut out);
 
     out.sort_by_key(|v| (v.line, v.rule.id()));
     out
@@ -598,5 +762,36 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 3);
         assert!(v[0].excerpt.contains("pub fn f"));
+    }
+
+    #[test]
+    fn every_rule_has_explain_text_and_round_trips_by_id() {
+        for rule in Rule::all() {
+            let text = rule.explain();
+            assert!(
+                text.len() > 80,
+                "{} explain text too thin: {text:?}",
+                rule.id()
+            );
+            assert!(
+                !rule.describe().is_empty(),
+                "{} has no one-line description",
+                rule.id()
+            );
+            assert_eq!(Rule::from_id(rule.id()), Some(rule), "{}", rule.id());
+            // Every rule except L6 documents the allowlist escape hatch; L6
+            // deliberately has none (write the comment instead).
+            if rule == Rule::L6 {
+                assert!(!text.contains("[[allow]]"), "L6 must not offer an escape");
+            } else {
+                assert!(
+                    text.contains("[[allow]]"),
+                    "{} explain must show the exception format",
+                    rule.id()
+                );
+            }
+        }
+        assert_eq!(Rule::from_id("L9"), None);
+        assert_eq!(Rule::from_id(""), None);
     }
 }

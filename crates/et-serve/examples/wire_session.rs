@@ -1,0 +1,50 @@
+//! Minimal end-to-end demo: spin the line-JSON server on an ephemeral
+//! port, drive one exploratory-training session over the wire with the
+//! auto-labeller, and print the final status.
+//!
+//! Run with `cargo run -p et-serve --example wire_session`.
+
+// Example code favours direct `expect` over error plumbing.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::time::Duration;
+
+use et_serve::{spawn, Client, CreateSessionSpec, ServerConfig, StoreConfig};
+
+fn main() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        store: StoreConfig {
+            capacity: 4,
+            shards: 2,
+            idle_timeout: Duration::from_secs(60),
+            base_seed: 7,
+        },
+    };
+    let handle = spawn(cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    println!("serving on {addr}");
+
+    let mut client = Client::connect(&addr).expect("connect");
+    let spec = CreateSessionSpec {
+        rows: 120,
+        iterations: 8,
+        seed: Some(41),
+        ..CreateSessionSpec::default()
+    };
+    let (session, seed) = client.create_session(&spec).expect("create session");
+    println!("session {session} created with seed {seed}");
+
+    let outcome = client.drive_auto(session, seed).expect("drive session");
+    println!(
+        "drove {} iteration(s); final MAE {:.4}; converged at {:?}",
+        outcome.iterations_run,
+        outcome.mae_series.last().copied().unwrap_or(f64::NAN),
+        outcome.converged_at
+    );
+
+    client.close_session(session).expect("close session");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}

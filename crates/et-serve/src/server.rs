@@ -61,9 +61,9 @@ impl ServerHandle {
     /// Raises the stop flag and unblocks the accept loop. Idempotent;
     /// returns immediately — pair with [`ServerHandle::wait`].
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Release);
-        // A throwaway connection unblocks the accept() call so the
-        // listener thread can observe the flag.
+        self.stop.store(true, Ordering::Release); // ord: Release pairs with Acquire loads in the accept/worker loops
+                                                  // A throwaway connection unblocks the accept() call so the
+                                                  // listener thread can observe the flag.
         let _ = TcpStream::connect(self.addr);
     }
 
@@ -79,7 +79,7 @@ impl ServerHandle {
 
     /// True once shutdown has been requested.
     pub fn is_stopping(&self) -> bool {
-        self.stop.load(Ordering::Acquire)
+        self.stop.load(Ordering::Acquire) // ord: Acquire pairs with the Release store in shutdown()
     }
 }
 
@@ -93,7 +93,7 @@ impl ServerCtx {
     /// Raises the stop flag and pokes the listener so the accept loop
     /// (blocked in `accept`) wakes up and observes it.
     fn begin_shutdown(&self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release); // ord: Release pairs with Acquire loads in the accept/worker loops
         let _ = TcpStream::connect(self.addr);
     }
 }
@@ -125,6 +125,7 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let accept_stop = stop.clone();
     let accept_join = std::thread::spawn(move || {
         for conn in listener.incoming() {
+            // ord: Acquire sees the flag raised before the wake-up connect
             if accept_stop.load(Ordering::Acquire) {
                 break;
             }
@@ -149,6 +150,7 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
 
 fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Arc<ServerCtx>) {
     loop {
+        // ord: Acquire pairs with the shutdown Release store
         if ctx.stop.load(Ordering::Acquire) {
             return;
         }
@@ -180,6 +182,7 @@ fn handle_connection(stream: TcpStream, ctx: &Arc<ServerCtx>) {
     let mut write_half = stream;
     let mut line = String::new();
     loop {
+        // ord: Acquire pairs with the shutdown Release store
         if ctx.stop.load(Ordering::Acquire) {
             return;
         }
@@ -215,6 +218,7 @@ fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
     };
     match request {
         Request::Create(spec) => {
+            // ord: Acquire pairs with the shutdown Release store
             if ctx.stop.load(Ordering::Acquire) {
                 return err(ErrorCode::ShuttingDown, "server is draining");
             }

@@ -156,6 +156,7 @@ impl SessionStore {
         // capacity between check and insert.
         let reserved = self
             .live
+            // ord: AcqRel reservation RMW; Acquire on failure observes releases
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |live| {
                 if live < self.cfg.capacity {
                     Some(live + 1)
@@ -164,14 +165,14 @@ impl SessionStore {
                 }
             });
         if reserved.is_err() {
-            self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            self.busy_rejections.fetch_add(1, Ordering::Relaxed); // ord: Relaxed, monotonic diagnostic counter
             return Err(StoreError::Busy);
         }
         let release = |store: &SessionStore| {
-            store.live.fetch_sub(1, Ordering::AcqRel);
+            store.live.fetch_sub(1, Ordering::AcqRel); // ord: AcqRel pairs with the reservation RMW
         };
 
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed); // ord: Relaxed, ids only need uniqueness
         let seed = spec
             .seed
             .unwrap_or_else(|| derive_seed(self.cfg.base_seed, id));
@@ -206,7 +207,7 @@ impl SessionStore {
             reported_done: false,
         };
         lock_shard(self.shard_of(id)).insert(id, live);
-        self.created_total.fetch_add(1, Ordering::Relaxed);
+        self.created_total.fetch_add(1, Ordering::Relaxed); // ord: Relaxed, monotonic diagnostic counter
         Ok((id, seed))
     }
 
@@ -237,7 +238,7 @@ impl SessionStore {
         let removed = lock_shard(self.shard_of(id)).remove(&id);
         match removed {
             Some(_) => {
-                self.live.fetch_sub(1, Ordering::AcqRel);
+                self.live.fetch_sub(1, Ordering::AcqRel); // ord: AcqRel releases the capacity slot
                 Ok(())
             }
             None => Err(StoreError::Unknown(id)),
@@ -252,20 +253,22 @@ impl SessionStore {
         let mut evicted = 0usize;
         for shard in &self.shards {
             let mut shard = lock_shard(shard);
-            let stale: Vec<u64> = shard
+            let mut stale: Vec<u64> = shard
                 .iter()
                 .filter(|(_, s)| now.duration_since(s.last_touch) > self.cfg.idle_timeout)
                 .map(|(&id, _)| id)
                 .collect();
+            // Evict in id order: deterministic across HashMap layouts.
+            stale.sort_unstable();
             for id in stale {
                 shard.remove(&id);
                 evicted += 1;
             }
         }
         if evicted > 0 {
-            self.live.fetch_sub(evicted, Ordering::AcqRel);
+            self.live.fetch_sub(evicted, Ordering::AcqRel); // ord: AcqRel releases the evicted capacity slots
             self.evicted_total
-                .fetch_add(evicted as u64, Ordering::Relaxed);
+                .fetch_add(evicted as u64, Ordering::Relaxed); // ord: Relaxed, monotonic diagnostic counter
         }
         evicted
     }
@@ -273,12 +276,12 @@ impl SessionStore {
     /// Occupancy and counters right now.
     pub fn snapshot(&self) -> StoreSnapshot {
         StoreSnapshot {
-            live_sessions: self.live.load(Ordering::Acquire),
+            live_sessions: self.live.load(Ordering::Acquire), // ord: Acquire pairs with AcqRel slot updates
             capacity: self.cfg.capacity,
             counters: StoreCounters {
-                created_total: self.created_total.load(Ordering::Relaxed),
-                evicted_total: self.evicted_total.load(Ordering::Relaxed),
-                busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+                created_total: self.created_total.load(Ordering::Relaxed), // ord: Relaxed, diagnostic counter snapshot
+                evicted_total: self.evicted_total.load(Ordering::Relaxed), // ord: Relaxed, diagnostic counter snapshot
+                busy_rejections: self.busy_rejections.load(Ordering::Relaxed), // ord: Relaxed, diagnostic counter snapshot
             },
         }
     }

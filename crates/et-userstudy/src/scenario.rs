@@ -57,7 +57,7 @@ impl Scenario {
     /// of the scenario schema with at most four attributes.
     pub fn space(&self) -> HypothesisSpace {
         let n = self.spec.attrs.len() as u16;
-        HypothesisSpace::enumerate(n, 4.min(n as u32))
+        HypothesisSpace::enumerate(n, 4.min(u32::from(n)))
     }
 
     /// The primary target FD in `et_fd` form.

@@ -14,8 +14,11 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> et-lint (L1-L4 workspace rules)"
+echo "==> et-lint (L1-L8 workspace rules)"
 cargo run -q -p et-lint
+
+echo "==> cargo doc --workspace --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
 
 echo "==> cargo test --workspace"
 cargo test --workspace -q
@@ -29,5 +32,44 @@ cargo test -q --features invariant-checks
 cargo test -q -p et-fd --features invariant-checks
 cargo test -q -p et-belief --features invariant-checks
 cargo test -q -p et-core --features invariant-checks
+
+# --- Sanitizer passes (nightly-only; skipped loudly when unavailable) ----
+#
+# ThreadSanitizer needs -Zsanitizer=thread plus an explicit --target, and
+# -Cunsafe-allow-abi-mismatch=sanitizer because the prebuilt std/panic_unwind
+# were not compiled under the sanitizer. A separate CARGO_TARGET_DIR keeps
+# instrumented artifacts out of the normal build cache.
+tsan_probe() {
+  command -v rustup >/dev/null 2>&1 || return 1
+  rustup run nightly rustc --version >/dev/null 2>&1 || return 1
+  echo 'fn main() {}' | rustup run nightly rustc \
+    -Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer \
+    --edition 2021 -o /tmp/et-tsan-probe - >/dev/null 2>&1
+}
+if tsan_probe; then
+  echo "==> ThreadSanitizer: et-serve server integration suite"
+  # Suppressions cover two known false-positive classes of the prebuilt
+  # (uninstrumented) std — see scripts/tsan-suppressions.txt. With rust-src
+  # installed, dropping them and adding -Zbuild-std is the stronger run.
+  TSAN_TARGET="$(rustup run nightly rustc -vV | sed -n 's/^host: //p')"
+  RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan-suppressions.txt" \
+    CARGO_TARGET_DIR=target/tsan \
+    cargo +nightly test -q -p et-serve --test server_integration \
+    --target "$TSAN_TARGET"
+else
+  echo "==> ThreadSanitizer: SKIPPED (nightly toolchain with -Zsanitizer=thread not available)"
+fi
+
+# Miri interprets the store/json unit tests for UB; -Zmiri-disable-isolation
+# lets Instant::now() through. Needs the miri component on nightly.
+if command -v rustup >/dev/null 2>&1 \
+  && rustup run nightly cargo miri --version >/dev/null 2>&1; then
+  echo "==> Miri: et-serve store/json unit tests"
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -q -p et-serve --lib store:: json::
+else
+  echo "==> Miri: SKIPPED (miri component not installed on nightly)"
+fi
 
 echo "CI gate passed."
