@@ -5,7 +5,7 @@ use et_belief::{update_from_pair_relations, Belief, Beta};
 use et_bench::fixtures::fixture;
 use et_data::gen::DatasetName;
 use et_data::{inject_errors, InjectConfig};
-use et_fd::{discovery, g1_of, Fd, ViolationIndex};
+use et_fd::{discovery, g1_of, Fd, PartitionCache, SubsampleIndex, ViolationIndex};
 use std::sync::Arc;
 
 fn bench_g1(c: &mut Criterion) {
@@ -28,6 +28,61 @@ fn bench_violation_index(c: &mut Criterion) {
             b.iter(|| ViolationIndex::build(black_box(&f.table), black_box(&f.space)))
         });
     }
+    group.finish();
+}
+
+fn bench_violation_index_cached(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_index_cached");
+    for rows in [200usize, 500] {
+        let f = fixture(DatasetName::Hospital, rows, 0.15, 2);
+        let cache = PartitionCache::new(&f.table);
+        // Warm the cache once; the bench measures steady-state rebuilds.
+        let _ = ViolationIndex::build_with(&f.table, &f.space, &cache);
+        group.bench_with_input(BenchmarkId::new("warm", rows), &rows, |b, _| {
+            b.iter(|| ViolationIndex::build_with(black_box(&f.table), black_box(&f.space), &cache))
+        });
+        group.bench_with_input(BenchmarkId::new("warm_serial", rows), &rows, |b, _| {
+            b.iter(|| {
+                ViolationIndex::build_with_threads(
+                    black_box(&f.table),
+                    black_box(&f.space),
+                    &cache,
+                    1,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_subsample_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subsample");
+    let f = fixture(DatasetName::Hospital, 500, 0.15, 2);
+    let cache = PartitionCache::new(&f.table);
+    let _ = ViolationIndex::build_with(&f.table, &f.space, &cache);
+    let sample: Vec<usize> = (0..f.table.nrows()).step_by(3).collect();
+    group.bench_function("subset_rebuild", |b| {
+        b.iter(|| ViolationIndex::build(&f.table.subset(black_box(&sample)), &f.space))
+    });
+    group.bench_function("cached_restrict", |b| {
+        b.iter(|| ViolationIndex::build_subsample(&f.table, &f.space, &cache, black_box(&sample)))
+    });
+    let batches: Vec<Vec<usize>> = (0..20)
+        .map(|t| {
+            (0..10)
+                .map(|i| (t * 17 + i * 3 + 1) % f.table.nrows())
+                .collect()
+        })
+        .collect();
+    group.bench_function("incremental_grow_20x10", |b| {
+        b.iter(|| {
+            let mut inc = SubsampleIndex::new(&f.table, &f.space);
+            for batch in &batches {
+                inc.grow(&f.table, &cache, black_box(batch));
+            }
+            inc.index().n_rows()
+        })
+    });
     group.finish();
 }
 
@@ -117,6 +172,8 @@ criterion_group!(
     benches,
     bench_g1,
     bench_violation_index,
+    bench_violation_index_cached,
+    bench_subsample_paths,
     bench_belief_update,
     bench_injection,
     bench_partitions,

@@ -1,0 +1,395 @@
+//! Machine-readable substrate benchmarks: deterministic wall-clock stats
+//! for the partition-cache fast paths, emitted as `BENCH_substrate.json`.
+//!
+//! ```text
+//! bench_json                     # full profile, writes BENCH_substrate.json
+//! bench_json --quick             # CI smoke profile (small fixture, few iters)
+//! bench_json --out path.json     # alternate output path
+//! ```
+//!
+//! Unlike the criterion benches (interactive, statistical), this binary is
+//! the *perf-trajectory recorder*: a fixed fixture, a fixed bench list, and
+//! a JSON file that can be checked in and diffed across PRs.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::time::Instant;
+
+use et_bench::fixtures::{fixture, Fixture};
+use et_core::{run_session, Learner, ResponseStrategy, SessionConfig, StrategyKind};
+use et_data::gen::DatasetName;
+use et_data::Table;
+use et_fd::{HypothesisSpace, PartitionCache, SubsampleIndex, ViolationIndex};
+
+struct Cli {
+    quick: bool,
+    out: String,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        out: "BENCH_substrate.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--out" => cli.out = args.next().ok_or("--out needs a path")?,
+            "--help" | "-h" => {
+                println!("usage: bench_json [--quick] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Wall-clock stats of one bench, in seconds.
+struct BenchStats {
+    name: &'static str,
+    iters: usize,
+    min: f64,
+    mean: f64,
+    median: f64,
+    max: f64,
+}
+
+/// Times `f` for `iters` measured runs after `warmup` unmeasured ones.
+fn time_bench<R>(
+    name: &'static str,
+    warmup: usize,
+    iters: usize,
+    mut f: impl FnMut() -> R,
+) -> BenchStats {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    let min = samples.first().copied().unwrap_or(0.0);
+    let max = samples.last().copied().unwrap_or(0.0);
+    let mean = if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    };
+    let median = if samples.is_empty() {
+        0.0
+    } else {
+        samples[samples.len() / 2]
+    };
+    eprintln!("  {name}: mean {:.3} ms over {iters} iters", mean * 1e3);
+    BenchStats {
+        name,
+        iters,
+        min,
+        mean,
+        median,
+        max,
+    }
+}
+
+/// The index build as it existed before the partition cache: one
+/// `group_by` hash pass per distinct LHS and an `O(group · distinct-RHS)`
+/// linear-scan counting loop per group. Kept inline so the emitted JSON
+/// always carries an honest before/after pair.
+fn index_build_legacy(table: &Table, space: &HypothesisSpace) -> u64 {
+    let mut total_violating = 0u64;
+    for lhs in space.distinct_lhs() {
+        let lhs_attrs: Vec<u16> = lhs.to_vec();
+        let grouped = table.group_by(&lhs_attrs);
+        for (_, fd) in space.iter().filter(|(_, fd)| fd.lhs == lhs) {
+            let mut rhs_counts: Vec<(u32, u64)> = Vec::new();
+            for group in &grouped.groups {
+                let g = group.len() as u64;
+                if g < 2 {
+                    continue;
+                }
+                rhs_counts.clear();
+                for &row in group {
+                    let s = table.sym(row as usize, fd.rhs);
+                    match rhs_counts.iter_mut().find(|(sym, _)| *sym == s) {
+                        Some((_, c)) => *c += 1,
+                        None => rhs_counts.push((s, 1)),
+                    }
+                }
+                let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
+                total_violating += (g * g - sum_sq) / 2;
+            }
+        }
+    }
+    total_violating
+}
+
+/// Deterministic growing sample: `rounds` batches of `per_round` row ids.
+fn sample_batches(n_rows: usize, rounds: usize, per_round: usize) -> Vec<Vec<usize>> {
+    (0..rounds)
+        .map(|t| {
+            (0..per_round)
+                .map(|i| (t * 17 + i * 3 + 1) % n_rows.max(1))
+                .collect()
+        })
+        .collect()
+}
+
+fn run_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
+    let (warmup, iters) = if quick { (1, 3) } else { (3, 25) };
+    let session_iters = if quick { 2 } else { 5 };
+    let rounds = if quick { 8 } else { 30 };
+    let mut out = Vec::new();
+
+    out.push(time_bench("index_build_legacy", warmup, iters, || {
+        index_build_legacy(&f.table, &f.space)
+    }));
+    out.push(time_bench("index_build_fresh", warmup, iters, || {
+        ViolationIndex::build(&f.table, &f.space)
+    }));
+
+    let cache = PartitionCache::new(&f.table);
+    let _ = ViolationIndex::build_with(&f.table, &f.space, &cache); // warm
+    out.push(time_bench("index_build_cached", warmup, iters, || {
+        ViolationIndex::build_with(&f.table, &f.space, &cache)
+    }));
+    out.push(time_bench(
+        "index_build_cached_serial",
+        warmup,
+        iters,
+        || ViolationIndex::build_with_threads(&f.table, &f.space, &cache, 1),
+    ));
+    let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    out.push(time_bench(
+        "index_build_cached_parallel",
+        warmup,
+        iters,
+        || ViolationIndex::build_with_threads(&f.table, &f.space, &cache, hw),
+    ));
+
+    let batches = sample_batches(f.table.nrows(), rounds, 10);
+    out.push(time_bench(
+        "subsample_rebuild_rounds",
+        warmup,
+        iters,
+        || {
+            // Per-round fresh build over the materialized cumulative subset —
+            // what the session layer did before the cache.
+            let mut cumulative: Vec<usize> = Vec::new();
+            let mut seen = vec![false; f.table.nrows()];
+            let mut last = 0usize;
+            for batch in &batches {
+                for &r in batch {
+                    if !seen[r] {
+                        seen[r] = true;
+                        cumulative.push(r);
+                    }
+                }
+                let idx = ViolationIndex::build(&f.table.subset(&cumulative), &f.space);
+                last = idx.n_rows();
+            }
+            last
+        },
+    ));
+    out.push(time_bench(
+        "subsample_restrict_rounds",
+        warmup,
+        iters,
+        || {
+            // Per-round O(|sample|) restriction of the cached partitions.
+            let mut cumulative: Vec<usize> = Vec::new();
+            let mut seen = vec![false; f.table.nrows()];
+            let mut last = 0usize;
+            for batch in &batches {
+                for &r in batch {
+                    if !seen[r] {
+                        seen[r] = true;
+                        cumulative.push(r);
+                    }
+                }
+                let idx = ViolationIndex::build_subsample(&f.table, &f.space, &cache, &cumulative);
+                last = idx.n_rows();
+            }
+            last
+        },
+    ));
+    out.push(time_bench(
+        "subsample_incremental_rounds",
+        warmup,
+        iters,
+        || {
+            // Incremental refinement: only the touched classes are recounted.
+            let mut inc = SubsampleIndex::new(&f.table, &f.space);
+            for batch in &batches {
+                inc.grow(&f.table, &cache, batch);
+            }
+            inc.index().n_rows()
+        },
+    ));
+
+    out.push(time_bench("session_fp_rounds", 0, session_iters, || {
+        let prior_cfg = et_belief::PriorConfig {
+            strength: 0.3,
+            ..et_belief::PriorConfig::default()
+        };
+        let trainer_prior = et_belief::build_prior(
+            &et_belief::PriorSpec::Random { seed: 3 },
+            &prior_cfg,
+            &f.space,
+            &f.table,
+        );
+        let learner_prior = et_belief::build_prior(
+            &et_belief::PriorSpec::DataEstimate,
+            &prior_cfg,
+            &f.space,
+            &f.table,
+        );
+        let mut trainer =
+            et_core::FpTrainer::new(trainer_prior, et_belief::EvidenceConfig::default());
+        let mut learner = Learner::new(
+            learner_prior,
+            ResponseStrategy::paper(StrategyKind::StochasticBestResponse),
+            et_belief::EvidenceConfig::default(),
+            7,
+        );
+        let r = run_session(
+            &f.table,
+            f.space.clone(),
+            &f.dirty_rows,
+            SessionConfig {
+                iterations: rounds,
+                seed: 5,
+                ..SessionConfig::default()
+            },
+            &mut trainer,
+            &mut learner,
+        );
+        r.metrics.len()
+    }));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(
+    cli: &Cli,
+    f: &Fixture,
+    rows: usize,
+    benches: &[BenchStats],
+    derived: &[(&str, f64)],
+) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"et-bench/substrate-v1\",\n");
+    j.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cli.quick { "quick" } else { "full" }
+    ));
+    j.push_str(&format!(
+        "  \"fixture\": {{\"dataset\": \"hospital\", \"rows\": {rows}, \"degree\": 0.15, \
+         \"seed\": 2, \"fds\": {}, \"distinct_lhs\": {}}},\n",
+        f.space.len(),
+        f.space.distinct_lhs().len()
+    ));
+    j.push_str("  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"secs\": {{\"min\": {:.9}, \
+             \"mean\": {:.9}, \"median\": {:.9}, \"max\": {:.9}}}}}{}\n",
+            json_escape(b.name),
+            b.iters,
+            b.min,
+            b.mean,
+            b.median,
+            b.max,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"derived\": {");
+    for (i, (name, v)) in derived.iter().enumerate() {
+        if i > 0 {
+            j.push_str(", ");
+        }
+        j.push_str(&format!("\"{}\": {:.3}", json_escape(name), v));
+    }
+    j.push_str("}\n}\n");
+    j
+}
+
+fn mean_of(benches: &[BenchStats], name: &str) -> Option<f64> {
+    benches
+        .iter()
+        .find(|b| b.name == name)
+        .map(|b| b.mean)
+        .filter(|&m| m > 0.0)
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = if cli.quick { 200 } else { 500 };
+    eprintln!("bench_json: hospital fixture, {rows} rows, degree 0.15, seed 2");
+    let f = fixture(DatasetName::Hospital, rows, 0.15, 2);
+    let benches = run_benches(&f, cli.quick);
+
+    let mut derived: Vec<(&str, f64)> = Vec::new();
+    let ratios = [
+        (
+            "cached_vs_fresh_speedup",
+            "index_build_fresh",
+            "index_build_cached",
+        ),
+        (
+            "cached_vs_legacy_speedup",
+            "index_build_legacy",
+            "index_build_cached",
+        ),
+        (
+            "parallel_vs_serial_speedup",
+            "index_build_cached_serial",
+            "index_build_cached_parallel",
+        ),
+        (
+            "restrict_vs_rebuild_speedup",
+            "subsample_rebuild_rounds",
+            "subsample_restrict_rounds",
+        ),
+        (
+            "incremental_vs_rebuild_speedup",
+            "subsample_rebuild_rounds",
+            "subsample_incremental_rounds",
+        ),
+    ];
+    for (name, slow, fast) in ratios {
+        if let (Some(s), Some(q)) = (mean_of(&benches, slow), mean_of(&benches, fast)) {
+            derived.push((name, s / q));
+        }
+    }
+
+    let json = emit_json(&cli, &f, rows, &benches, &derived);
+    let write = std::fs::File::create(&cli.out).and_then(|mut fh| fh.write_all(json.as_bytes()));
+    match write {
+        Ok(()) => {
+            for (name, v) in &derived {
+                eprintln!("  {name}: {v:.2}x");
+            }
+            println!("wrote {}", cli.out);
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", cli.out);
+            std::process::exit(1);
+        }
+    }
+}

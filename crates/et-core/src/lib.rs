@@ -45,13 +45,14 @@ pub mod trainer;
 pub mod weak_strong;
 
 pub use candidates::CandidatePool;
+pub use et_fd::PartitionCache;
 pub use game::{Interaction, Label, PairExample};
 pub use learner::{EvidenceScope, Learner};
 pub use replay::{history_from_csv, history_to_csv, replay_history};
 pub use respond::{ResponseStrategy, ScoreBasis, StrategyKind};
 pub use session::{
-    run_session, ConfigError, ConvergenceReport, IterationMetrics, PendingInteraction, Session,
-    SessionConfig, SessionError, SessionResult, SessionState, StepError,
+    run_session, sample_rows, ConfigError, ConvergenceReport, IterationMetrics, PendingInteraction,
+    Session, SessionConfig, SessionError, SessionResult, SessionState, StepError,
 };
 pub use trainer::{FpTrainer, HtTrainer, NoisyTrainer, StationaryTrainer, Trainer};
 pub use weak_strong::{run_weak_strong, WeakStrongConfig, WeakStrongResult};

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use et_belief::LabeledPair;
 use et_data::{split_rows, Table};
-use et_fd::{predict_labels, HypothesisSpace, ViolationIndex};
+use et_fd::{predict_labels, HypothesisSpace, PartitionCache, ViolationIndex};
 use et_metrics::ConfusionMatrix;
 
 use crate::candidates::CandidatePool;
@@ -357,6 +357,9 @@ pub struct SessionState {
     table: Table,
     space: Arc<HypothesisSpace>,
     cfg: SessionConfig,
+    /// Memoized stripped partitions of `table`, shared with whoever else
+    /// derives violation structure from it (trainers, the serve store).
+    cache: Arc<PartitionCache>,
     test_index: ViolationIndex,
     test_dirty: Vec<bool>,
     test_eval_rows: Vec<usize>,
@@ -407,15 +410,20 @@ impl SessionState {
             mask
         };
 
-        // Held-out evaluation context: violations within the test subset.
-        let test_table = table.subset(&test_rows);
-        let test_index = ViolationIndex::build(&test_table, &space);
+        // One partition cache per session: the full-table build below warms
+        // it, and every later subsample restriction (presented samples, the
+        // held-out index, a cache-aware trainer) reuses the partitions.
+        let cache = Arc::new(PartitionCache::new(&table));
+
+        // Held-out evaluation context: violations within the test subset,
+        // derived by restricting the cached full-table partitions.
+        let test_index = ViolationIndex::build_subsample(&table, &space, &cache, &test_rows);
         let test_dirty: Vec<bool> = test_rows.iter().map(|&r| dirty_rows[r]).collect();
         let test_eval_rows: Vec<usize> = (0..test_rows.len()).collect();
 
         // Dataset-wide violation index for strategy scoring (the paper's
         // tuple-level p(clean | θ) is judged against the whole dataset).
-        let score_index = ViolationIndex::build(&table, &space);
+        let score_index = ViolationIndex::build_with(&table, &space, &cache);
 
         // Candidate pool restricted to training rows.
         let pool = CandidatePool::build(&table, &space, cfg.pool_cap, cfg.seed);
@@ -435,6 +443,7 @@ impl SessionState {
             table,
             space,
             cfg,
+            cache,
             test_index,
             test_dirty,
             test_eval_rows,
@@ -460,6 +469,13 @@ impl SessionState {
     /// The hypothesis space.
     pub fn space(&self) -> &Arc<HypothesisSpace> {
         &self.space
+    }
+
+    /// The session's partition cache: memoized stripped partitions of
+    /// [`SessionState::table`]. Share it with anything else indexing the
+    /// same table (e.g. [`crate::trainer::FpTrainer::with_cache`]).
+    pub fn partition_cache(&self) -> &Arc<PartitionCache> {
+        &self.cache
     }
 
     /// The configuration.
@@ -529,20 +545,14 @@ impl SessionState {
 
         // The presented sample: the distinct tuples of the selected
         // pairs (k pairs -> up to 2k tuples, the paper's k = 10).
-        let mut sample: Vec<usize> = Vec::with_capacity(pairs.len() * 2);
-        for p in &pairs {
-            for r in [p.a, p.b] {
-                if !sample.contains(&r) {
-                    sample.push(r);
-                }
-            }
-        }
+        let sample = sample_rows(&pairs, self.table.nrows());
 
         // Learner's pre-update predicted labels on the sample, for the
-        // agreement metric.
+        // agreement metric. The sample index restricts the cached
+        // full-table partitions instead of re-hashing a subset table.
         let learner_conf_pre = learner.confidences();
-        let sub = self.table.subset(&sample);
-        let sub_index = ViolationIndex::build(&sub, &self.space);
+        let sub_index =
+            ViolationIndex::build_subsample(&self.table, &self.space, &self.cache, &sample);
         let local_rows: Vec<usize> = (0..sample.len()).collect();
         let predicted = predict_labels(&sub_index, &learner_conf_pre, &local_rows);
 
@@ -756,6 +766,23 @@ pub fn run_session(
     learner: &mut Learner,
 ) -> SessionResult {
     Session::new(table, space, dirty_rows, cfg).run(trainer, learner)
+}
+
+/// The distinct tuples of `pairs` in first-seen order: the sample presented
+/// to the annotator (`k` pairs → up to `2k` tuples). A seen-bitmap over row
+/// ids keeps collection `O(k)` instead of the quadratic `contains` scan.
+pub fn sample_rows(pairs: &[crate::game::PairExample], n_rows: usize) -> Vec<usize> {
+    let mut seen = vec![false; n_rows];
+    let mut sample: Vec<usize> = Vec::with_capacity(pairs.len() * 2);
+    for p in pairs {
+        for r in [p.a, p.b] {
+            if !seen[r] {
+                seen[r] = true;
+                sample.push(r);
+            }
+        }
+    }
+    sample
 }
 
 /// Builds the labeled evidence pairs of one interaction: every within-sample
@@ -974,6 +1001,42 @@ mod tests {
             stepped.convergence.converged_at
         );
         assert_eq!(batch.history.len(), stepped.history.len());
+    }
+
+    #[test]
+    fn cache_enabled_replay_is_bit_identical_to_batch() {
+        // The et-serve deployment shape: a stepped session whose trainer
+        // shares the session's partition cache must reproduce the batch
+        // loop (whose trainer labels via subset tables) bit for bit.
+        let (table, dirty, space) = fixture();
+        let batch = run_with(StrategyKind::StochasticBestResponse, &table, &dirty, &space);
+
+        let (trainer, mut learner) = agents(StrategyKind::StochasticBestResponse, &table, &space);
+        let mut st = SessionState::new(
+            table.clone(),
+            space.clone(),
+            &dirty,
+            SessionConfig::default(),
+            &trainer,
+            &learner,
+        )
+        .expect("valid config");
+        let mut trainer = trainer.with_cache(st.partition_cache().clone());
+        while st.present(&mut learner).expect("in phase").is_some() {
+            let labels = st.label_pending(&mut trainer).expect("pending");
+            let _ = st
+                .apply_labels(&trainer, &mut learner, &labels)
+                .expect("aligned");
+        }
+        let stepped = st.into_result();
+        assert_eq!(batch.mae_series(), stepped.mae_series());
+        assert_eq!(batch.f1_series(), stepped.f1_series());
+        assert_eq!(batch.learner_confidences, stepped.learner_confidences);
+        assert_eq!(batch.trainer_confidences, stepped.trainer_confidences);
+        for (a, b) in batch.history.iter().zip(&stepped.history) {
+            assert_eq!(a.sample, b.sample);
+            assert_eq!(a.labels, b.labels);
+        }
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! tuple pair — that is how an annotator actually spots FD violations —
 //! updates its belief, and returns one clean/dirty label per tuple.
 
+use std::sync::Arc;
+
 use et_belief::{
     update_from_pair_relations, Belief, EvidenceConfig, HypothesisTester, LabeledPair,
 };
 use et_data::Table;
-use et_fd::{pair_relation, tuple_dirty_prob, PairRelation, ViolationIndex};
+use et_fd::{pair_relation, tuple_dirty_prob, PairRelation, PartitionCache, ViolationIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -48,16 +50,43 @@ fn local_pairs(n: usize) -> Vec<(usize, usize)> {
     out
 }
 
-/// Labels every tuple of a sample subtable by thresholding the belief-
+/// Labels every tuple of a presented sample by thresholding the belief-
 /// weighted dirty probability computed from the sample's own violation
 /// structure. The detector's sigmoid indicator already gates out
 /// hypotheses the annotator has not firmly accepted.
-fn label_sample(sub: &Table, belief: &Belief, threshold: f64) -> Vec<bool> {
-    let idx = ViolationIndex::build(sub, belief.space());
+///
+/// With a matching [`PartitionCache`] the sample's index restricts the
+/// cached full-table partitions in `O(|sample|)`; otherwise (no cache, a
+/// foreign table, or a sample with repeats) it is built from the subset
+/// table. Both paths produce bit-identical labels.
+fn label_sample(
+    table: &Table,
+    sample: &[usize],
+    belief: &Belief,
+    threshold: f64,
+    cache: Option<&PartitionCache>,
+) -> Vec<bool> {
+    let idx = match cache {
+        Some(c) if c.n_rows() == table.nrows() && all_distinct(sample, table.nrows()) => {
+            ViolationIndex::build_subsample(table, belief.space(), c, sample)
+        }
+        _ => ViolationIndex::build(&table.subset(sample), belief.space()),
+    };
     let conf = belief.confidences();
-    (0..sub.nrows())
+    (0..sample.len())
         .map(|i| tuple_dirty_prob(&idx, &conf, i) > threshold)
         .collect()
+}
+
+/// True when every row id occurs at most once (the subsample restriction
+/// requires a duplicate-free sample; presented samples always are).
+fn all_distinct(sample: &[usize], n_rows: usize) -> bool {
+    let mut seen = vec![false; n_rows];
+    sample.iter().all(|&r| {
+        let fresh = !seen[r];
+        seen[r] = true;
+        fresh
+    })
 }
 
 /// The fictitious-play (Bayesian) trainer the user study validates.
@@ -85,6 +114,8 @@ pub struct FpTrainer {
     /// Per-interaction belief discount (discounted fictitious play); `None`
     /// keeps all evidence forever.
     discount: Option<f64>,
+    /// Shared partition cache of the session's table, when attached.
+    cache: Option<Arc<PartitionCache>>,
     memory: Vec<usize>,
     in_memory: std::collections::HashSet<usize>,
 }
@@ -98,9 +129,20 @@ impl FpTrainer {
             threshold: 0.5,
             cross_memory: false,
             discount: None,
+            cache: None,
             memory: Vec::new(),
             in_memory: std::collections::HashSet::new(),
         }
+    }
+
+    /// Attaches the session's shared [`PartitionCache`]: sample labeling
+    /// then restricts cached full-table partitions instead of re-indexing a
+    /// subset table each round. Labels are bit-identical either way, so
+    /// this is purely a fast path (see the session cache parity test).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PartitionCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Enables cumulative cross-memory evidence (the annotator re-examines
@@ -175,8 +217,13 @@ impl Trainer for FpTrainer {
             self.in_memory.insert(r);
         }
         // (2) Labels under θ_t, judged within the presented sample.
-        let sub = table.subset(sample);
-        label_sample(&sub, &self.belief, self.threshold)
+        label_sample(
+            table,
+            sample,
+            &self.belief,
+            self.threshold,
+            self.cache.as_deref(),
+        )
     }
 
     fn confidences(&self) -> Vec<f64> {
@@ -263,6 +310,8 @@ pub struct StationaryTrainer {
     belief: Belief,
     /// Dirty-probability threshold for labeling.
     pub threshold: f64,
+    /// Shared partition cache of the session's table, when attached.
+    cache: Option<Arc<PartitionCache>>,
 }
 
 impl StationaryTrainer {
@@ -271,14 +320,27 @@ impl StationaryTrainer {
         Self {
             belief,
             threshold: 0.5,
+            cache: None,
         }
+    }
+
+    /// Attaches a shared [`PartitionCache`] (see [`FpTrainer::with_cache`]).
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<PartitionCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 }
 
 impl Trainer for StationaryTrainer {
     fn respond(&mut self, table: &Table, sample: &[usize]) -> Vec<bool> {
-        let sub = table.subset(sample);
-        label_sample(&sub, &self.belief, self.threshold)
+        label_sample(
+            table,
+            sample,
+            &self.belief,
+            self.threshold,
+            self.cache.as_deref(),
+        )
     }
 
     fn confidences(&self) -> Vec<f64> {

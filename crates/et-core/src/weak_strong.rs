@@ -12,12 +12,12 @@
 use std::sync::Arc;
 
 use et_data::{split_rows, Table};
-use et_fd::{predict_labels, HypothesisSpace, ViolationIndex};
+use et_fd::{predict_labels, HypothesisSpace, PartitionCache, ViolationIndex};
 use et_metrics::ConfusionMatrix;
 
 use crate::candidates::CandidatePool;
 use crate::learner::Learner;
-use crate::session::mae;
+use crate::session::{mae, sample_rows};
 use crate::trainer::Trainer;
 
 /// Configuration of a weak/strong session.
@@ -111,11 +111,13 @@ pub fn run_weak_strong(
         }
         mask
     };
-    let test_table = table.subset(&test_rows);
-    let test_index = ViolationIndex::build(&test_table, &space);
+    // One cache for the whole protocol: the score build warms it, every
+    // per-iteration sample index restricts it.
+    let cache = PartitionCache::new(table);
+    let test_index = ViolationIndex::build_subsample(table, &space, &cache, &test_rows);
     let test_dirty: Vec<bool> = test_rows.iter().map(|&r| dirty_rows[r]).collect();
     let test_eval: Vec<usize> = (0..test_rows.len()).collect();
-    let score_index = ViolationIndex::build(table, &space);
+    let score_index = ViolationIndex::build_with(table, &space, &cache);
 
     let pool = CandidatePool::build(table, &space, cfg.pool_cap, cfg.seed);
     let pool = CandidatePool::from_pairs(
@@ -135,19 +137,11 @@ pub fn run_weak_strong(
         if pairs.is_empty() {
             break;
         }
-        let mut sample: Vec<usize> = Vec::with_capacity(pairs.len() * 2);
-        for p in &pairs {
-            for r in [p.a, p.b] {
-                if !sample.contains(&r) {
-                    sample.push(r);
-                }
-            }
-        }
+        let sample = sample_rows(&pairs, table.nrows());
 
         let weak_labels = weak.respond(table, &sample);
         // The learner's own predictions within the sample context.
-        let sub = table.subset(&sample);
-        let sub_index = ViolationIndex::build(&sub, &space);
+        let sub_index = ViolationIndex::build_subsample(table, &space, &cache, &sample);
         let local: Vec<usize> = (0..sample.len()).collect();
         let predicted = predict_labels(&sub_index, &learner.confidences(), &local);
         let disagreement = predicted

@@ -993,8 +993,8 @@ fn run_fig2_participants(opts: &RunOptions) -> ExperimentOutput {
 /// re-learns the post-shift world.
 fn run_drift(opts: &RunOptions) -> ExperimentOutput {
     use et_core::trainer::Trainer;
-    use et_core::{CandidatePool, Learner};
-    use et_fd::ViolationIndex;
+    use et_core::{sample_rows, CandidatePool, Learner};
+    use et_fd::{PartitionCache, ViolationIndex};
 
     let iterations = opts.iterations.max(45);
     let shift_at = iterations / 3;
@@ -1040,10 +1040,14 @@ fn run_drift(opts: &RunOptions) -> ExperimentOutput {
             0x9B,
         );
 
-        // Hand-rolled loop so the table can mutate mid-session.
+        // Hand-rolled loop so the table can mutate mid-session. Each table
+        // phase shares one partition cache: the index build warms it, the
+        // trainer's per-round sample labeling restricts it.
         let mut table = ds.table.clone();
         let mut pool = CandidatePool::build(&table, &space, 4000, 1);
-        let mut index = ViolationIndex::build(&table, &space);
+        let mut cache = Arc::new(PartitionCache::new(&table));
+        let mut index = ViolationIndex::build_with(&table, &space, &cache);
+        let mut trainer = trainer.with_cache(Arc::clone(&cache));
         let mut pre_shift_mae = 0.0;
         let mut post_shift_mae = 0.0;
         for t in 0..iterations {
@@ -1051,7 +1055,8 @@ fn run_drift(opts: &RunOptions) -> ExperimentOutput {
                 // The world changes wholesale: a freshly generated table
                 // (old violations repaired) with a heavy error wave against
                 // a *different* ground-truth FD — the evidence the annotator
-                // accumulated about phase 1 is now stale.
+                // accumulated about phase 1 is now stale. The partition
+                // cache is bound to the old table, so it is replaced too.
                 let mut ds2 = DatasetName::Omdb.generate(opts.rows, 0x99);
                 let _ = inject_errors(
                     &mut ds2.table,
@@ -1061,20 +1066,15 @@ fn run_drift(opts: &RunOptions) -> ExperimentOutput {
                 );
                 table = ds2.table;
                 pool = CandidatePool::build(&table, &space, 4000, 2);
-                index = ViolationIndex::build(&table, &space);
+                cache = Arc::new(PartitionCache::new(&table));
+                index = ViolationIndex::build_with(&table, &space, &cache);
+                trainer = trainer.with_cache(Arc::clone(&cache));
             }
             let pairs = learner.select(&table, Some(&index), &pool, 5);
             if pairs.is_empty() {
                 break;
             }
-            let mut sample: Vec<usize> = Vec::new();
-            for p in &pairs {
-                for r in [p.a, p.b] {
-                    if !sample.contains(&r) {
-                        sample.push(r);
-                    }
-                }
-            }
+            let sample = sample_rows(&pairs, table.nrows());
             let labels = trainer.respond(&table, &sample);
             learner.absorb_interaction(&table, &pairs, &sample, &labels);
             let mae = et_core::session::mae(&trainer.confidences(), &learner.confidences());

@@ -15,7 +15,26 @@
 
 use et_data::{AttrId, Table};
 
+use crate::cache::PartitionCache;
 use crate::fd::Fd;
+
+/// Sorts `syms` in place and emits `(symbol, count)` runs in ascending
+/// symbol order into `out` (cleared first).
+///
+/// This replaces the former `O(group · distinct-RHS)` linear-scan counting
+/// loop shared by [`g1_of`] and the violation-index builders: sorting a
+/// small scratch buffer and run-length counting touches each symbol
+/// `O(log g)` times and leaves the counts binary-searchable by symbol.
+pub(crate) fn count_symbol_runs(syms: &mut [u32], out: &mut Vec<(u32, u64)>) {
+    syms.sort_unstable();
+    out.clear();
+    for &s in syms.iter() {
+        match out.last_mut() {
+            Some((sym, c)) if *sym == s => *c += 1,
+            _ => out.push((s, 1)),
+        }
+    }
+}
 
 /// Pair statistics of one FD over one table.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -78,6 +97,7 @@ pub fn g1_of(table: &Table, fd: &Fd) -> G1 {
     let grouped = table.group_by(&lhs);
     let mut violating = 0u64;
     let mut lhs_pairs = 0u64;
+    let mut syms: Vec<u32> = Vec::new();
     let mut rhs_counts: Vec<(u32, u64)> = Vec::new();
     for group in &grouped.groups {
         let g = group.len() as u64;
@@ -85,14 +105,9 @@ pub fn g1_of(table: &Table, fd: &Fd) -> G1 {
             continue;
         }
         lhs_pairs += g * (g - 1) / 2;
-        rhs_counts.clear();
-        for &row in group {
-            let s = table.sym(row as usize, fd.rhs);
-            match rhs_counts.iter_mut().find(|(sym, _)| *sym == s) {
-                Some((_, c)) => *c += 1,
-                None => rhs_counts.push((s, 1)),
-            }
-        }
+        syms.clear();
+        syms.extend(group.iter().map(|&row| table.sym(row as usize, fd.rhs)));
+        count_symbol_runs(&mut syms, &mut rhs_counts);
         // Unordered cross-bucket pairs: (g² - Σc²)/2.
         let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
         violating += (g * g - sum_sq) / 2;
@@ -117,9 +132,72 @@ pub fn g1_of(table: &Table, fd: &Fd) -> G1 {
     out
 }
 
-/// Computes g1 statistics for many FDs in one call.
+/// Computes g1 statistics for many FDs in one call, grouping the table once
+/// per *distinct LHS* via a transient [`PartitionCache`] so FDs with equal
+/// determinants share the partition work.
 pub fn g1_many(table: &Table, fds: &[Fd]) -> Vec<G1> {
-    fds.iter().map(|fd| g1_of(table, fd)).collect()
+    let cache = PartitionCache::new(table);
+    g1_many_with(table, fds, &cache)
+}
+
+/// [`g1_many`] against a caller-supplied (possibly pre-warmed) cache.
+///
+/// # Panics
+/// Panics when `table` does not match the cache's row count.
+pub fn g1_many_with(table: &Table, fds: &[Fd], cache: &PartitionCache) -> Vec<G1> {
+    let n = table.nrows() as u64;
+    let mut out = vec![
+        G1 {
+            violating_pairs: 0,
+            lhs_pairs: 0,
+            rows: n,
+        };
+        fds.len()
+    ];
+    // Indices grouped by determinant, preserving first-seen LHS order.
+    let mut lhs_order: Vec<crate::attrset::AttrSet> = Vec::new();
+    let mut by_lhs: std::collections::HashMap<crate::attrset::AttrSet, Vec<usize>> =
+        std::collections::HashMap::new();
+    for (i, fd) in fds.iter().enumerate() {
+        by_lhs
+            .entry(fd.lhs)
+            .or_insert_with(|| {
+                lhs_order.push(fd.lhs);
+                Vec::new()
+            })
+            .push(i);
+    }
+    let mut syms: Vec<u32> = Vec::new();
+    let mut rhs_counts: Vec<(u32, u64)> = Vec::new();
+    for lhs in lhs_order {
+        let part = cache.partition(table, lhs);
+        let lhs_pairs: u64 = part
+            .classes
+            .iter()
+            .map(|c| {
+                let g = c.len() as u64;
+                g * (g - 1) / 2
+            })
+            .sum();
+        let Some(ids) = by_lhs.get(&lhs) else {
+            continue;
+        };
+        for &fi in ids {
+            let rhs = fds[fi].rhs;
+            let mut violating = 0u64;
+            for class in &part.classes {
+                let g = class.len() as u64;
+                syms.clear();
+                syms.extend(class.iter().map(|&row| table.sym(row as usize, rhs)));
+                count_symbol_runs(&mut syms, &mut rhs_counts);
+                let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
+                violating += (g * g - sum_sq) / 2;
+            }
+            out[fi].violating_pairs = violating;
+            out[fi].lhs_pairs = lhs_pairs;
+        }
+    }
+    out
 }
 
 #[cfg(test)]

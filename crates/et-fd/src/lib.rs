@@ -25,10 +25,12 @@ pub mod attrset;
 pub mod cover;
 #[macro_use]
 pub mod invariant;
+pub mod cache;
 pub mod detect;
 pub mod discovery;
 pub mod fd;
 pub mod g1;
+pub mod incremental;
 pub mod keys;
 pub mod measures;
 pub mod partitions;
@@ -37,13 +39,15 @@ pub mod space;
 pub mod violations;
 
 pub use attrset::AttrSet;
+pub use cache::{PartitionCache, NO_CLASS};
 pub use cover::{closure, equivalent, implies, minimal_cover};
 pub use detect::{
     binary_entropy, pair_dirty_probs, pair_dirty_probs_with, predict_labels, tuple_dirty_prob,
     tuple_dirty_prob_with, DetectParams, Indicator,
 };
 pub use fd::{Fd, FdRelation};
-pub use g1::{g1_of, G1};
+pub use g1::{g1_many, g1_many_with, g1_of, G1};
+pub use incremental::SubsampleIndex;
 pub use keys::{discover_keys, is_key, Ucc};
 pub use measures::{g2_g3, ApproxMeasures};
 pub use partitions::{discover_tane, StrippedPartition, TaneFd};

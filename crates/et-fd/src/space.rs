@@ -13,8 +13,9 @@ use std::collections::HashMap;
 use et_data::Table;
 
 use crate::attrset::{subsets_up_to, AttrSet};
+use crate::cache::PartitionCache;
 use crate::fd::Fd;
-use crate::g1::g1_of;
+use crate::g1::g1_many_with;
 
 /// An immutable, indexable set of candidate FDs.
 #[derive(Debug, Clone)]
@@ -85,12 +86,16 @@ impl HypothesisSpace {
     ) -> Self {
         assert!(cap >= pinned.len(), "cap too small for pinned FDs");
         let full = Self::enumerate(table.schema().len() as u16, max_fd_attrs);
+        // Score the whole lattice in one pass: candidates with equal
+        // determinants (every RHS of one LHS) share a cached partition
+        // instead of re-hashing per FD.
+        let cache = PartitionCache::new(table);
+        let stats = g1_many_with(table, full.fds(), &cache);
         let mut scored: Vec<(Fd, f64)> = Vec::new();
-        for &fd in full.fds() {
+        for (&fd, g) in full.fds().iter().zip(&stats) {
             if pinned.contains(&fd) {
                 continue;
             }
-            let g = g1_of(table, &fd);
             if g.lhs_pairs < min_support {
                 continue;
             }

@@ -14,8 +14,9 @@ use std::collections::HashSet;
 
 use et_data::{AttrId, Table};
 
+use crate::cache::{PartitionCache, NO_CLASS};
 use crate::fd::Fd;
-use crate::g1::G1;
+use crate::g1::{count_symbol_runs, G1};
 use crate::space::HypothesisSpace;
 
 /// How a pair of tuples relates to one FD.
@@ -90,101 +91,377 @@ impl SpaceRelations {
 /// Per-FD violation flags and statistics over a fixed table.
 ///
 /// Built once per (table, hypothesis space); lookups are `O(1)`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ViolationIndex {
-    n_rows: usize,
+    pub(crate) n_rows: usize,
     /// Per FD: does the tuple participate in >= 1 violating pair?
-    violates: Vec<Vec<bool>>,
+    pub(crate) violates: Vec<Vec<bool>>,
     /// Per FD: is the tuple in a multi-row LHS group (any at-risk pair)?
-    relevant: Vec<Vec<bool>>,
+    pub(crate) relevant: Vec<Vec<bool>>,
     /// Per FD: is the tuple's RHS value in a *minority* bucket of its mixed
     /// group? Majority consensus is the standard FD-repair heuristic: when
     /// a group disagrees on the RHS, the rows carrying the less-common
     /// values are the likely errors. Ties mark every member.
-    minority: Vec<Vec<bool>>,
+    pub(crate) minority: Vec<Vec<bool>>,
     /// Per FD: pair statistics.
-    stats: Vec<G1>,
+    pub(crate) stats: Vec<G1>,
+}
+
+/// One FD's freshly computed columns, produced by a per-LHS work item.
+pub(crate) struct FdColumns {
+    pub(crate) stats: G1,
+    pub(crate) violates: Vec<bool>,
+    pub(crate) relevant: Vec<bool>,
+    pub(crate) minority: Vec<bool>,
+}
+
+/// Reusable scratch buffers for per-class counting.
+#[derive(Default)]
+pub(crate) struct ClassScratch {
+    members: Vec<usize>,
+    syms: Vec<u32>,
+    counts: Vec<(u32, u64)>,
+}
+
+/// Counts one class's at-risk and violating pairs: `members` are local row
+/// ids, `rhs_sym` maps a local row id to its RHS symbol. Returns
+/// `(lhs_pairs, violating_pairs)`; classes below two members contribute
+/// nothing.
+pub(crate) fn class_pairs(
+    members: &[usize],
+    rhs_sym: &dyn Fn(usize) -> u32,
+    scratch: &mut ClassScratch,
+) -> (u64, u64) {
+    let g = members.len() as u64;
+    if g < 2 {
+        return (0, 0);
+    }
+    scratch.syms.clear();
+    scratch.syms.extend(members.iter().map(|&m| rhs_sym(m)));
+    count_symbol_runs(&mut scratch.syms, &mut scratch.counts);
+    let sum_sq: u64 = scratch.counts.iter().map(|(_, c)| c * c).sum();
+    ((g * (g - 1)) / 2, (g * g - sum_sq) / 2)
+}
+
+/// Counts one class *and* writes its per-member flags (at the members'
+/// local ids). Shared by the fresh, subsample and incremental builders so
+/// every path computes bit-identical flags.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn index_class(
+    members: &[usize],
+    rhs_sym: &dyn Fn(usize) -> u32,
+    scratch: &mut ClassScratch,
+    stats: &mut G1,
+    violates: &mut [bool],
+    relevant: &mut [bool],
+    minority: &mut [bool],
+) {
+    let (pairs, violating) = class_pairs(members, rhs_sym, scratch);
+    if members.len() < 2 {
+        return;
+    }
+    stats.lhs_pairs += pairs;
+    stats.violating_pairs += violating;
+    let mixed = scratch.counts.len() > 1;
+    // Majority bucket: unique largest RHS count, if any.
+    let max_count = scratch.counts.iter().map(|(_, c)| *c).max().unwrap_or(0);
+    let max_ties = scratch
+        .counts
+        .iter()
+        .filter(|(_, c)| *c == max_count)
+        .count();
+    for &m in members {
+        relevant[m] = true;
+        if mixed {
+            // With >= 2 buckets every tuple has a cross-bucket partner,
+            // so all members violate.
+            violates[m] = true;
+            let s = rhs_sym(m);
+            let bucket = scratch
+                .counts
+                .binary_search_by_key(&s, |&(sym, _)| sym)
+                .ok()
+                .map(|i| scratch.counts[i].1)
+                .unwrap_or(0);
+            if bucket < max_count || max_ties > 1 {
+                minority[m] = true;
+            }
+        }
+    }
+}
+
+/// Computes the columns of every FD sharing one determinant, from the
+/// determinant's cached stripped partition. Stripped (singleton) rows are
+/// exactly the rows the legacy `group_by` path skipped, so the result is
+/// bit-identical to grouping from scratch.
+fn index_one_lhs(
+    table: &Table,
+    cache: &PartitionCache,
+    lhs: crate::attrset::AttrSet,
+    fds: &[(usize, AttrId)],
+) -> Vec<(usize, FdColumns)> {
+    let n = table.nrows();
+    let part = cache.partition(table, lhs);
+    let mut scratch = ClassScratch::default();
+    let mut out = Vec::with_capacity(fds.len());
+    for &(fi, rhs) in fds {
+        let mut cols = FdColumns {
+            stats: G1 {
+                violating_pairs: 0,
+                lhs_pairs: 0,
+                rows: n as u64,
+            },
+            violates: vec![false; n],
+            relevant: vec![false; n],
+            minority: vec![false; n],
+        };
+        let sym = |row: usize| table.sym(row, rhs);
+        for class in &part.classes {
+            scratch.members.clear();
+            scratch.members.extend(class.iter().map(|&r| r as usize));
+            let members = std::mem::take(&mut scratch.members);
+            index_class(
+                &members,
+                &sym,
+                &mut scratch,
+                &mut cols.stats,
+                &mut cols.violates,
+                &mut cols.relevant,
+                &mut cols.minority,
+            );
+            scratch.members = members;
+        }
+        out.push((fi, cols));
+    }
+    out
+}
+
+/// The distinct determinants of a space paired with their FD ids and RHS
+/// attributes, in first-seen (deterministic) order.
+pub(crate) fn fds_by_lhs(
+    space: &HypothesisSpace,
+) -> Vec<(crate::attrset::AttrSet, Vec<(usize, AttrId)>)> {
+    let mut order: Vec<crate::attrset::AttrSet> = Vec::new();
+    let mut groups: Vec<Vec<(usize, AttrId)>> = Vec::new();
+    for (i, fd) in space.iter() {
+        match order.iter().position(|&l| l == fd.lhs) {
+            Some(p) => groups[p].push((i, fd.rhs)),
+            None => {
+                order.push(fd.lhs);
+                groups.push(vec![(i, fd.rhs)]);
+            }
+        }
+    }
+    order.into_iter().zip(groups).collect()
+}
+
+/// Resolves the worker count for a parallel index build: the
+/// `ET_INDEX_THREADS` environment variable when set (and parseable),
+/// otherwise [`std::thread::available_parallelism`] — gated so small
+/// builds stay serial (thread spawn would dominate).
+fn index_threads(n_tasks: usize, n_rows: usize) -> usize {
+    let configured = std::env::var("ET_INDEX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0);
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let want = configured.unwrap_or_else(|| {
+        // Heuristic: parallelism only pays once the total work (rows x
+        // determinants) clears the spawn overhead.
+        if n_rows.saturating_mul(n_tasks) < (1 << 15) {
+            1
+        } else {
+            hw
+        }
+    });
+    want.min(n_tasks.max(1))
 }
 
 impl ViolationIndex {
     /// Builds the index for every FD of `space` over `table`.
     ///
-    /// Groups are computed once per *distinct LHS* and shared by all FDs
-    /// with that determinant.
+    /// Groups are computed once per *distinct LHS* (via a transient
+    /// [`PartitionCache`]) and shared by all FDs with that determinant;
+    /// large builds fan the per-determinant work across threads (see
+    /// [`ViolationIndex::build_with_threads`]). Output is identical
+    /// regardless of caching or thread count.
     pub fn build(table: &Table, space: &HypothesisSpace) -> Self {
+        let cache = PartitionCache::new(table);
+        Self::build_with(table, space, &cache)
+    }
+
+    /// Builds against a shared [`PartitionCache`], reusing any partitions
+    /// already memoized for this table (the per-session / per-experiment
+    /// fast path: partitions are computed once, every rebuild only counts).
+    ///
+    /// # Panics
+    /// Panics when `table` does not match the cache's row count.
+    pub fn build_with(table: &Table, space: &HypothesisSpace, cache: &PartitionCache) -> Self {
+        let by_lhs = fds_by_lhs(space);
+        let threads = index_threads(by_lhs.len(), table.nrows());
+        Self::build_from_groups(table, space, cache, &by_lhs, threads)
+    }
+
+    /// [`ViolationIndex::build_with`] with an explicit worker count
+    /// (`threads <= 1` runs serially). The parallel path fans whole
+    /// determinants across a [`std::thread::scope`] pool and merges the
+    /// per-FD columns by FD index, so the result is bit-identical to the
+    /// serial build — every FD's columns are produced by exactly one
+    /// worker, and the merge order is the fixed FD order of `space`.
+    ///
+    /// # Panics
+    /// Panics when `table` does not match the cache's row count.
+    pub fn build_with_threads(
+        table: &Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        threads: usize,
+    ) -> Self {
+        let by_lhs = fds_by_lhs(space);
+        Self::build_from_groups(table, space, cache, &by_lhs, threads)
+    }
+
+    fn build_from_groups(
+        table: &Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        by_lhs: &[(crate::attrset::AttrSet, Vec<(usize, AttrId)>)],
+        threads: usize,
+    ) -> Self {
         let n = table.nrows();
         let n_fds = space.len();
-        let mut violates = vec![vec![false; n]; n_fds];
-        let mut relevant = vec![vec![false; n]; n_fds];
-        let mut minority = vec![vec![false; n]; n_fds];
-        let mut stats = vec![G1::default(); n_fds];
-
-        for lhs in space.distinct_lhs() {
-            let lhs_attrs: Vec<AttrId> = lhs.to_vec();
-            let grouped = table.group_by(&lhs_attrs);
-            let fd_ids: Vec<usize> = space
-                .iter()
-                .filter(|(_, fd)| fd.lhs == lhs)
-                .map(|(i, _)| i)
-                .collect();
-            for &fi in &fd_ids {
-                let rhs = space.fd(fi).rhs;
-                let mut violating = 0u64;
-                let mut lhs_pairs = 0u64;
-                let mut rhs_counts: Vec<(u32, u64)> = Vec::new();
-                for group in &grouped.groups {
-                    let g = group.len() as u64;
-                    if g < 2 {
-                        continue;
-                    }
-                    lhs_pairs += g * (g - 1) / 2;
-                    rhs_counts.clear();
-                    for &row in group {
-                        let s = table.sym(row as usize, rhs);
-                        match rhs_counts.iter_mut().find(|(sym, _)| *sym == s) {
-                            Some((_, c)) => *c += 1,
-                            None => rhs_counts.push((s, 1)),
-                        }
-                    }
-                    let sum_sq: u64 = rhs_counts.iter().map(|(_, c)| c * c).sum();
-                    violating += (g * g - sum_sq) / 2;
-                    let mixed = rhs_counts.len() > 1;
-                    // Majority bucket: unique largest RHS count, if any.
-                    let max_count = rhs_counts.iter().map(|(_, c)| *c).max().unwrap_or(0);
-                    let max_ties = rhs_counts.iter().filter(|(_, c)| *c == max_count).count();
-                    for &row in group {
-                        relevant[fi][row as usize] = true;
-                        if mixed {
-                            // With >= 2 buckets every tuple has a
-                            // cross-bucket partner, so all members violate.
-                            violates[fi][row as usize] = true;
-                            let s = table.sym(row as usize, rhs);
-                            let bucket = rhs_counts
-                                .iter()
-                                .find(|(sym, _)| *sym == s)
-                                .map(|(_, c)| *c)
-                                .unwrap_or(0);
-                            if bucket < max_count || max_ties > 1 {
-                                minority[fi][row as usize] = true;
-                            }
-                        }
-                    }
+        let mut out = Self::empty(n, n_fds, table.nrows() as u64);
+        if threads <= 1 || by_lhs.len() < 2 {
+            for (lhs, fds) in by_lhs {
+                for (fi, cols) in index_one_lhs(table, cache, *lhs, fds) {
+                    out.install(fi, cols);
                 }
-                stats[fi] = G1 {
-                    violating_pairs: violating,
-                    lhs_pairs,
-                    rows: n as u64,
-                };
+            }
+            return out;
+        }
+        let workers = threads.min(by_lhs.len());
+        let chunk = by_lhs.len().div_ceil(workers);
+        let chunked: Vec<Vec<(usize, FdColumns)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = by_lhs
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move || {
+                        let mut acc = Vec::new();
+                        for (lhs, fds) in part {
+                            acc.extend(index_one_lhs(table, cache, *lhs, fds));
+                        }
+                        acc
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        // Merge in fixed order; each FD index is written exactly once
+        // (determinants partition the FD set), so the layout is identical
+        // to the serial build.
+        for group in chunked {
+            for (fi, cols) in group {
+                out.install(fi, cols);
             }
         }
+        out
+    }
 
+    /// An all-clean index skeleton (every flag false, zero pair counts).
+    pub(crate) fn empty(n_rows: usize, n_fds: usize, stat_rows: u64) -> Self {
         Self {
-            n_rows: n,
-            violates,
-            relevant,
-            minority,
-            stats,
+            n_rows,
+            violates: vec![vec![false; n_rows]; n_fds],
+            relevant: vec![vec![false; n_rows]; n_fds],
+            minority: vec![vec![false; n_rows]; n_fds],
+            stats: vec![
+                G1 {
+                    violating_pairs: 0,
+                    lhs_pairs: 0,
+                    rows: stat_rows,
+                };
+                n_fds
+            ],
         }
+    }
+
+    fn install(&mut self, fi: usize, cols: FdColumns) {
+        self.stats[fi] = cols.stats;
+        self.violates[fi] = cols.violates;
+        self.relevant[fi] = cols.relevant;
+        self.minority[fi] = cols.minority;
+    }
+
+    /// Builds the index of the *subsample* `rows` (distinct global row ids,
+    /// in presentation order) without re-hashing: each cached full-table
+    /// partition is restricted to the sample in `O(|rows|)` via the row →
+    /// class lookup. The result is indexed by *local* position (`rows[i]`
+    /// is local row `i`) and is bit-identical to
+    /// `ViolationIndex::build(&table.subset(rows), space)` — a row stripped
+    /// from a full-table partition agrees with no other row on that
+    /// determinant, so it cannot form a class inside any subsample.
+    ///
+    /// # Panics
+    /// Panics when `table` does not match the cache's row count or a row id
+    /// is out of range. `rows` must not contain duplicates (presented
+    /// samples never do).
+    pub fn build_subsample(
+        table: &Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        rows: &[usize],
+    ) -> Self {
+        let k = rows.len();
+        let mut out = Self::empty(k, space.len(), k as u64);
+        let mut scratch = ClassScratch::default();
+        for (lhs, fds) in fds_by_lhs(space) {
+            let owners = cache.row_classes(table, lhs);
+            // Bucket sample members by their full-table class id.
+            let mut buckets: std::collections::HashMap<usize, Vec<usize>> =
+                std::collections::HashMap::new();
+            for (local, &global) in rows.iter().enumerate() {
+                let class = owners[global];
+                if class != NO_CLASS {
+                    buckets.entry(class).or_default().push(local);
+                }
+            }
+            let mut classes: Vec<(usize, Vec<usize>)> = buckets.drain().collect();
+            classes.sort_unstable_by_key(|&(class, _)| class);
+            for &(fi, rhs) in &fds {
+                let mut cols = FdColumns {
+                    stats: G1 {
+                        violating_pairs: 0,
+                        lhs_pairs: 0,
+                        rows: k as u64,
+                    },
+                    violates: vec![false; k],
+                    relevant: vec![false; k],
+                    minority: vec![false; k],
+                };
+                let sym = |local: usize| table.sym(rows[local], rhs);
+                for (_, members) in &classes {
+                    index_class(
+                        members,
+                        &sym,
+                        &mut scratch,
+                        &mut cols.stats,
+                        &mut cols.violates,
+                        &mut cols.relevant,
+                        &mut cols.minority,
+                    );
+                }
+                out.install(fi, cols);
+            }
+        }
+        out
     }
 
     /// Number of rows indexed.

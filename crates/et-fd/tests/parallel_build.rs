@@ -1,0 +1,95 @@
+//! Deterministic parallel-build tests, also exercised under ThreadSanitizer
+//! by `scripts/ci.sh`: concurrent index builds over one shared
+//! [`PartitionCache`] must be data-race free and bit-identical to serial.
+
+use std::sync::Arc;
+
+use et_fd::{Fd, HypothesisSpace, PartitionCache, ViolationIndex};
+
+fn fixture() -> (et_data::Table, HypothesisSpace) {
+    let mut ds = et_data::gen::hospital(240, 7);
+    let cfg = et_data::InjectConfig::with_degree(0.15, 11);
+    let _ = et_data::inject_errors(&mut ds.table, &ds.exact_fds, &[], &cfg);
+    let pinned: Vec<Fd> = ds.exact_fds.iter().map(Fd::from_spec).collect();
+    let space = HypothesisSpace::capped(&ds.table, 3, 24, 3, &pinned);
+    (ds.table, space)
+}
+
+#[test]
+fn parallel_build_is_bit_identical_to_serial() {
+    let (table, space) = fixture();
+    let cache = PartitionCache::new(&table);
+    let serial = ViolationIndex::build_with_threads(&table, &space, &cache, 1);
+    for threads in [2, 4, 8] {
+        let par = ViolationIndex::build_with_threads(&table, &space, &cache, threads);
+        assert_eq!(serial, par, "{threads}-thread build diverged");
+    }
+    // The auto-selected path too (whatever available_parallelism resolves).
+    assert_eq!(serial, ViolationIndex::build_with(&table, &space, &cache));
+}
+
+#[test]
+fn concurrent_builders_share_one_cache() {
+    let (table, space) = fixture();
+    let table = Arc::new(table);
+    let cache = Arc::new(PartitionCache::new(&table));
+    let serial = ViolationIndex::build_with_threads(&table, &space, &cache, 1);
+    // Hammer the same cold cache from many threads at once: races on the
+    // memo maps must neither corrupt nor change results. Handles are joined
+    // explicitly (not left to the scope-exit wait) so the join edge goes
+    // through pthread_join, which TSan can see with an uninstrumented std.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = [1, 2, 4, 1, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                let table = Arc::clone(&table);
+                let cache = Arc::clone(&cache);
+                let space = &space;
+                let serial = &serial;
+                s.spawn(move || {
+                    let idx = ViolationIndex::build_with_threads(&table, space, &cache, threads);
+                    assert_eq!(*serial, idx);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[test]
+fn subsample_restriction_from_concurrent_threads() {
+    let (table, space) = fixture();
+    let cache = PartitionCache::new(&table);
+    let samples: Vec<Vec<usize>> = (0..6)
+        .map(|k| (k..table.nrows()).step_by(k + 2).collect())
+        .collect();
+    let expected: Vec<ViolationIndex> = samples
+        .iter()
+        .map(|s| ViolationIndex::build(&table.subset(s), &space))
+        .collect();
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = samples
+            .iter()
+            .zip(&expected)
+            .map(|(sample, want)| {
+                let cache = &cache;
+                let table = &table;
+                let space = &space;
+                sc.spawn(move || {
+                    let got = ViolationIndex::build_subsample(table, space, cache, sample);
+                    assert_eq!(*want, got);
+                })
+            })
+            .collect();
+        // Explicit pthread_join edges, visible to TSan (see above).
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}

@@ -197,11 +197,14 @@ impl SessionStore {
                 return Err(StoreError::Invalid(e.to_string()));
             }
         };
+        // The hosted trainer labels against the session's shared partition
+        // cache — same labels, no per-round subset re-indexing.
+        let trainer = parts.trainer.with_cache(state.partition_cache().clone());
         let live = LiveSession {
             id,
             seed,
             state,
-            trainer: parts.trainer,
+            trainer,
             learner: parts.learner,
             last_touch: Instant::now(),
             reported_done: false,

@@ -27,6 +27,17 @@ echo "==> et-serve bins + server integration test"
 cargo build -q --release -p et-serve --bins
 cargo test -q -p et-serve --test server_integration
 
+echo "==> bench harness compiles + bench_json smoke (quick profile)"
+cargo build -q --release -p et-bench --benches --bins
+BENCH_OUT="$(mktemp /tmp/et-bench-substrate.XXXXXX.json)"
+if ! ./target/release/bench_json --quick --out "$BENCH_OUT" \
+  || [ ! -s "$BENCH_OUT" ]; then
+  echo "FATAL: bench_json failed to produce $BENCH_OUT" >&2
+  echo "       (the checked-in BENCH_substrate.json baseline cannot be regenerated)" >&2
+  exit 1
+fi
+rm -f "$BENCH_OUT"
+
 echo "==> invariant-checks feature armed (facade + gated crates)"
 cargo test -q --features invariant-checks
 cargo test -q -p et-fd --features invariant-checks
@@ -56,6 +67,12 @@ if tsan_probe; then
     TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan-suppressions.txt" \
     CARGO_TARGET_DIR=target/tsan \
     cargo +nightly test -q -p et-serve --test server_integration \
+    --target "$TSAN_TARGET"
+  echo "==> ThreadSanitizer: et-fd parallel index builds + shared cache"
+  RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan-suppressions.txt" \
+    CARGO_TARGET_DIR=target/tsan \
+    cargo +nightly test -q -p et-fd --test parallel_build \
     --target "$TSAN_TARGET"
 else
   echo "==> ThreadSanitizer: SKIPPED (nightly toolchain with -Zsanitizer=thread not available)"
