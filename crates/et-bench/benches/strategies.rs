@@ -3,13 +3,15 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use et_belief::{build_prior, PriorConfig, PriorSpec};
 use et_bench::fixtures::fixture;
-use et_core::{CandidatePool, ResponseStrategy, StrategyKind};
+use et_core::{CandidatePool, ResponseStrategy, ScoreCtx, StrategyKind};
 use et_data::gen::DatasetName;
+use et_fd::{PartitionCache, RelationMatrix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_selection(c: &mut Criterion) {
     let f = fixture(DatasetName::Omdb, 400, 0.1, 1);
+    let cache = PartitionCache::new(&f.table);
     let index = et_fd::ViolationIndex::build(&f.table, &f.space);
     let belief = build_prior(
         &PriorSpec::DataEstimate,
@@ -19,10 +21,13 @@ fn bench_selection(c: &mut Criterion) {
     );
     let mut group = c.benchmark_group("select_5_pairs");
     for pool_cap in [200usize, 1000, 4000] {
-        let pool = CandidatePool::build(&f.table, &f.space, pool_cap, 3);
+        let pool = CandidatePool::build_with(&f.table, &f.space, &cache, pool_cap, 3);
         let candidates = pool.pairs().to_vec();
+        let pairs: Vec<(usize, usize)> = candidates.iter().map(|p| (p.a, p.b)).collect();
+        let matrix = RelationMatrix::build(&f.table, &f.space, &cache, &pairs);
         for kind in StrategyKind::PAPER_METHODS {
             let strategy = ResponseStrategy::paper(kind);
+            // Reference (raw-cell) scoring path.
             group.bench_with_input(
                 BenchmarkId::new(kind.as_str(), pool_cap),
                 &pool_cap,
@@ -31,8 +36,29 @@ fn bench_selection(c: &mut Criterion) {
                         || StdRng::seed_from_u64(9),
                         |mut rng| {
                             strategy.select(
-                                black_box(&f.table),
-                                Some(&index),
+                                ScoreCtx::new(black_box(&f.table)).with_index(&index),
+                                black_box(&belief),
+                                black_box(&candidates),
+                                5,
+                                &mut rng,
+                            )
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+            // Precomputed relation-matrix scoring path.
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_matrix", kind.as_str()), pool_cap),
+                &pool_cap,
+                |b, _| {
+                    b.iter_batched(
+                        || StdRng::seed_from_u64(9),
+                        |mut rng| {
+                            strategy.select(
+                                ScoreCtx::new(black_box(&f.table))
+                                    .with_index(&index)
+                                    .with_matrix(&matrix),
                                 black_box(&belief),
                                 black_box(&candidates),
                                 5,

@@ -16,10 +16,13 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use et_bench::fixtures::{fixture, Fixture};
-use et_core::{run_session, Learner, ResponseStrategy, SessionConfig, StrategyKind};
+use et_core::{run_session, CandidatePool, Learner, ResponseStrategy, SessionConfig, StrategyKind};
 use et_data::gen::DatasetName;
 use et_data::Table;
-use et_fd::{HypothesisSpace, PartitionCache, SubsampleIndex, ViolationIndex};
+use et_fd::{
+    pair_dirty_probs_with, DetectParams, HypothesisSpace, PartitionCache, RelationMatrix,
+    SubsampleIndex, ViolationIndex,
+};
 
 struct Cli {
     quick: bool,
@@ -231,6 +234,31 @@ fn run_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
         },
     ));
 
+    let pool = CandidatePool::build_with(&f.table, &f.space, &cache, 4000, 2);
+    let pairs: Vec<(usize, usize)> = pool.pairs().iter().map(|p| (p.a, p.b)).collect();
+    let conf: Vec<f64> = (0..f.space.len())
+        .map(|i| 0.25 + 0.5 * ((i % 7) as f64) / 7.0)
+        .collect();
+    let params = DetectParams::unsmoothed();
+    out.push(time_bench("scoring_naive_pool", warmup, iters, || {
+        // Per-pair relation enumeration, as the strategies scored before
+        // the matrix: one raw-cell scan of the space per candidate.
+        let mut acc = 0.0f64;
+        for &(a, b) in &pairs {
+            let (pa, _) = pair_dirty_probs_with(&f.table, &f.space, &conf, a, b, &params);
+            acc += pa;
+        }
+        acc
+    }));
+    out.push(time_bench("scoring_matrix_build", warmup, iters, || {
+        RelationMatrix::build(&f.table, &f.space, &cache, &pairs)
+    }));
+    let matrix = RelationMatrix::build(&f.table, &f.space, &cache, &pairs);
+    out.push(time_bench("scoring_matrix_score", warmup, iters, || {
+        let s = matrix.score_all(&conf, &params);
+        s.dirty.iter().sum::<f64>()
+    }));
+
     out.push(time_bench("session_fp_rounds", 0, session_iters, || {
         let prior_cfg = et_belief::PriorConfig {
             strength: 0.3,
@@ -370,6 +398,11 @@ fn main() {
             "incremental_vs_rebuild_speedup",
             "subsample_rebuild_rounds",
             "subsample_incremental_rounds",
+        ),
+        (
+            "matrix_score_vs_naive_speedup",
+            "scoring_naive_pool",
+            "scoring_matrix_score",
         ),
     ];
     for (name, slow, fast) in ratios {

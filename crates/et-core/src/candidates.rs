@@ -9,8 +9,8 @@
 
 use std::collections::HashSet;
 
-use et_data::{AttrId, Table};
-use et_fd::HypothesisSpace;
+use et_data::Table;
+use et_fd::{HypothesisSpace, PartitionCache};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -30,18 +30,38 @@ impl CandidatePool {
     /// # Panics
     /// Panics when `max_pairs` is zero.
     pub fn build(table: &Table, space: &HypothesisSpace, max_pairs: usize, seed: u64) -> Self {
+        let cache = PartitionCache::new(table);
+        Self::build_with(table, space, &cache, max_pairs, seed)
+    }
+
+    /// [`CandidatePool::build`] over a shared [`PartitionCache`]: walks the
+    /// memoized stripped partition of each distinct LHS instead of
+    /// re-grouping the table per determinant.
+    ///
+    /// Bit-identical to the raw `group_by` enumeration (pinned by proptest):
+    /// both visit multi-row groups in ascending first-row order with members
+    /// ascending — a stripped partition *is* that grouping with singleton
+    /// groups removed, and singleton groups contribute no pairs — so the
+    /// reservoir sees the same pair sequence and draws the same sample.
+    ///
+    /// # Panics
+    /// Panics when `max_pairs` is zero or `cache` was built for a table
+    /// with a different row count.
+    pub fn build_with(
+        table: &Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        max_pairs: usize,
+        seed: u64,
+    ) -> Self {
         assert!(max_pairs > 0, "pool must allow at least one pair");
         let mut seen: HashSet<PairExample> = HashSet::new();
         let mut reservoir: Vec<PairExample> = Vec::new();
         let mut n_seen = 0usize;
         let mut rng = StdRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b);
         for lhs in space.distinct_lhs() {
-            let attrs: Vec<AttrId> = lhs.to_vec();
-            let grouped = table.group_by(&attrs);
-            for group in &grouped.groups {
-                if group.len() < 2 {
-                    continue;
-                }
+            let part = cache.partition(table, lhs);
+            for group in &part.classes {
                 for (i, &a) in group.iter().enumerate() {
                     for &b in &group[i + 1..] {
                         let p = PairExample::new(a as usize, b as usize);

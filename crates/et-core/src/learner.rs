@@ -14,7 +14,7 @@ use rand::SeedableRng;
 
 use crate::candidates::CandidatePool;
 use crate::game::PairExample;
-use crate::respond::ResponseStrategy;
+use crate::respond::{ResponseStrategy, ScoreCtx};
 
 /// How much of an interaction the learner's prediction model consumes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,15 +107,14 @@ impl Learner {
     /// Returns an empty vector when the pool is exhausted.
     pub fn select(
         &mut self,
-        table: &Table,
-        index: Option<&et_fd::ViolationIndex>,
+        ctx: ScoreCtx<'_>,
         pool: &CandidatePool,
         k: usize,
     ) -> Vec<PairExample> {
         let fresh = pool.fresh(&self.shown);
         let picked = self
             .strategy
-            .select(table, index, &self.belief, &fresh, k, &mut self.rng);
+            .select(ctx, &self.belief, &fresh, k, &mut self.rng);
         self.shown.extend(picked.iter().copied());
         picked
     }
@@ -124,15 +123,14 @@ impl Learner {
     /// (for payoff/entropy accounting).
     pub fn policy_over_fresh(
         &self,
-        table: &Table,
-        index: Option<&et_fd::ViolationIndex>,
+        ctx: ScoreCtx<'_>,
         pool: &CandidatePool,
         k: usize,
     ) -> (Vec<PairExample>, Vec<f64>) {
         let fresh = pool.fresh(&self.shown);
         let dist = self
             .strategy
-            .policy_distribution(table, index, &self.belief, &fresh, k);
+            .policy_distribution(ctx, &self.belief, &fresh, k);
         (fresh, dist)
     }
 
@@ -245,7 +243,7 @@ mod tests {
         let (t, mut learner, pool) = setup();
         let mut seen = HashSet::new();
         loop {
-            let picked = learner.select(&t, None, &pool, 1);
+            let picked = learner.select(ScoreCtx::new(&t), &pool, 1);
             if picked.is_empty() {
                 break;
             }
@@ -277,8 +275,8 @@ mod tests {
     #[test]
     fn policy_over_fresh_respects_shown() {
         let (t, mut learner, pool) = setup();
-        let _ = learner.select(&t, None, &pool, 1);
-        let (fresh, dist) = learner.policy_over_fresh(&t, None, &pool, 2);
+        let _ = learner.select(ScoreCtx::new(&t), &pool, 1);
+        let (fresh, dist) = learner.policy_over_fresh(ScoreCtx::new(&t), &pool, 2);
         assert_eq!(fresh.len(), pool.len() - 1);
         assert_eq!(dist.len(), fresh.len());
     }

@@ -45,11 +45,11 @@ pub mod trainer;
 pub mod weak_strong;
 
 pub use candidates::CandidatePool;
-pub use et_fd::PartitionCache;
+pub use et_fd::{PartitionCache, RelationMatrix};
 pub use game::{Interaction, Label, PairExample};
 pub use learner::{EvidenceScope, Learner};
 pub use replay::{history_from_csv, history_to_csv, replay_history};
-pub use respond::{ResponseStrategy, ScoreBasis, StrategyKind};
+pub use respond::{ResponseStrategy, ScoreBasis, ScoreCtx, StrategyKind};
 pub use session::{
     run_session, sample_rows, ConfigError, ConvergenceReport, IterationMetrics, PendingInteraction,
     Session, SessionConfig, SessionError, SessionResult, SessionState, StepError,

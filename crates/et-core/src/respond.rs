@@ -19,13 +19,58 @@
 
 use et_belief::Belief;
 use et_data::Table;
-use et_fd::{binary_entropy, invariant, tuple_dirty_prob_with, DetectParams, ViolationIndex};
+use et_fd::{
+    binary_entropy, invariant, tuple_dirty_prob_with, DetectParams, RelationMatrix, ViolationIndex,
+};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::game::PairExample;
 use crate::payoff::{example_confidence, example_uncertainty};
+
+/// Everything a response strategy scores from.
+///
+/// `table` is always required (the reference scoring path derives pair
+/// relations from raw cells); `index` enables [`ScoreBasis::DatasetTuple`]
+/// scoring; `matrix` enables the precomputed fast path — strategies score
+/// from the bit-packed [`RelationMatrix`] for every candidate it covers and
+/// fall back to the per-call reference path, pair by pair, for any it does
+/// not. Both paths are bit-identical by construction (pinned by proptest).
+#[derive(Debug, Clone, Copy)]
+pub struct ScoreCtx<'a> {
+    /// The dataset being labeled.
+    pub table: &'a Table,
+    /// Dataset-wide violation index, for [`ScoreBasis::DatasetTuple`].
+    pub index: Option<&'a ViolationIndex>,
+    /// Precomputed pair-relation matrix over the candidate pool.
+    pub matrix: Option<&'a RelationMatrix>,
+}
+
+impl<'a> ScoreCtx<'a> {
+    /// A context scoring from raw cells only (the reference path).
+    pub fn new(table: &'a Table) -> Self {
+        Self {
+            table,
+            index: None,
+            matrix: None,
+        }
+    }
+
+    /// Attaches the dataset-wide violation index.
+    #[must_use]
+    pub fn with_index(mut self, index: &'a ViolationIndex) -> Self {
+        self.index = Some(index);
+        self
+    }
+
+    /// Attaches a precomputed relation matrix (the fast scoring path).
+    #[must_use]
+    pub fn with_matrix(mut self, matrix: &'a RelationMatrix) -> Self {
+        self.matrix = Some(matrix);
+        self
+    }
+}
 
 /// What the per-example scores are computed from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,14 +203,13 @@ impl ResponseStrategy {
     /// Selects up to `k` distinct pairs from `candidates`.
     ///
     /// Deterministic strategies break score ties by pair order; stochastic
-    /// strategies consume `rng`.
-    /// Selects up to `k` distinct pairs from `candidates`. `index` is the
-    /// dataset-wide violation index used by [`ScoreBasis::DatasetTuple`]
-    /// scoring; pass `None` to force pair-local scoring.
+    /// strategies consume `rng`. `ctx` carries the scoring inputs: the
+    /// table (always), the dataset-wide violation index used by
+    /// [`ScoreBasis::DatasetTuple`], and the optional [`RelationMatrix`]
+    /// fast path.
     pub fn select(
         &self,
-        table: &Table,
-        index: Option<&ViolationIndex>,
+        ctx: ScoreCtx<'_>,
         belief: &Belief,
         candidates: &[PairExample],
         k: usize,
@@ -186,7 +230,7 @@ impl ResponseStrategy {
             | StrategyKind::Best
             | StrategyKind::CommitteeDisagreement
             | StrategyKind::DensityWeightedUncertainty => {
-                let scores = self.scores(table, index, belief, candidates, None);
+                let scores = self.scores(ctx, belief, candidates, None);
                 top_k(candidates, &scores, k)
             }
             StrategyKind::ThompsonSampling => {
@@ -195,11 +239,11 @@ impl ResponseStrategy {
                 let draw: Vec<f64> = (0..belief.len())
                     .map(|i| belief.dist(i).sample(rng))
                     .collect();
-                let scores = self.scores(table, index, belief, candidates, Some(&draw));
+                let scores = self.scores(ctx, belief, candidates, Some(&draw));
                 top_k(candidates, &scores, k)
             }
             StrategyKind::StochasticBestResponse | StrategyKind::StochasticUncertainty => {
-                let scores = self.scores(table, index, belief, candidates, None);
+                let scores = self.scores(ctx, belief, candidates, None);
                 softmax_sample_without_replacement(candidates, &scores, self.gamma, k, rng)
             }
         }
@@ -211,8 +255,7 @@ impl ResponseStrategy {
     /// deterministic ones, uniform for `Random`.
     pub fn policy_distribution(
         &self,
-        table: &Table,
-        index: Option<&ViolationIndex>,
+        ctx: ScoreCtx<'_>,
         belief: &Belief,
         candidates: &[PairExample],
         k: usize,
@@ -228,7 +271,7 @@ impl ResponseStrategy {
             | StrategyKind::ThompsonSampling
             | StrategyKind::CommitteeDisagreement
             | StrategyKind::DensityWeightedUncertainty => {
-                let scores = self.scores(table, index, belief, candidates, None);
+                let scores = self.scores(ctx, belief, candidates, None);
                 let chosen = top_k(candidates, &scores, k.min(n));
                 let w = 1.0 / chosen.len() as f64;
                 candidates
@@ -237,17 +280,23 @@ impl ResponseStrategy {
                     .collect()
             }
             StrategyKind::StochasticBestResponse | StrategyKind::StochasticUncertainty => {
-                let scores = self.scores(table, index, belief, candidates, None);
+                let scores = self.scores(ctx, belief, candidates, None);
                 softmax(&scores, self.gamma)
             }
         }
     }
 
     /// Raw per-candidate scores for this strategy's criterion.
+    ///
+    /// When `ctx.matrix` covers a candidate pair, its score comes from the
+    /// precomputed packed relations (one batch [`RelationMatrix::score_all`]
+    /// pass instead of a per-pair raw-cell scan); uncovered pairs fall back
+    /// to the reference path. Both produce bit-identical scores: the matrix
+    /// multiplies the same noisy-OR factors in the same ascending-FD order
+    /// as [`et_fd::pair_dirty_probs_with`].
     fn scores(
         &self,
-        table: &Table,
-        index: Option<&ViolationIndex>,
+        ctx: ScoreCtx<'_>,
         belief: &Belief,
         candidates: &[PairExample],
         thompson_draw: Option<&[f64]>,
@@ -256,33 +305,63 @@ impl ResponseStrategy {
             return vec![0.0; candidates.len()];
         }
         if matches!(self.kind, StrategyKind::CommitteeDisagreement) {
-            // Summed posterior variance over the FDs each pair violates.
-            let rel = et_fd::SpaceRelations::new(belief.space());
+            // Summed posterior variance over the FDs each pair violates;
+            // the matrix already knows each covered pair's violated set.
+            let mut rel: Option<et_fd::SpaceRelations> = None;
             return candidates
                 .iter()
-                .map(|p| {
-                    (0..rel.len())
-                        .filter(|&fi| {
-                            rel.relation(table, fi, p.a, p.b) == et_fd::PairRelation::Violates
-                        })
-                        .map(|fi| belief.dist(fi).variance())
-                        .sum()
-                })
+                .map(
+                    |p| match ctx.matrix.and_then(|m| Some((m, m.pair_id(p.a, p.b)?))) {
+                        Some((m, pid)) => m
+                            .violated_indices(pid)
+                            .map(|fi| belief.dist(fi).variance())
+                            .sum(),
+                        None => {
+                            let rel = rel
+                                .get_or_insert_with(|| et_fd::SpaceRelations::new(belief.space()));
+                            (0..rel.len())
+                                .filter(|&fi| {
+                                    rel.relation(ctx.table, fi, p.a, p.b)
+                                        == et_fd::PairRelation::Violates
+                                })
+                                .map(|fi| belief.dist(fi).variance())
+                                .sum()
+                        }
+                    },
+                )
                 .collect();
         }
         if matches!(self.kind, StrategyKind::DensityWeightedUncertainty) {
             // Uncertainty x representativeness (relevant-FD count).
-            let rel = et_fd::SpaceRelations::new(belief.space());
-            let n_fds = rel.len().max(1) as f64;
+            let n_fds = belief.len().max(1) as f64;
+            let batch = ctx
+                .matrix
+                .map(|m| m.score_all(&belief.confidences(), &DetectParams::unsmoothed()));
+            let mut rel: Option<et_fd::SpaceRelations> = None;
             return candidates
                 .iter()
                 .map(|&p| {
-                    let relevant = (0..rel.len())
-                        .filter(|&fi| {
-                            rel.relation(table, fi, p.a, p.b) != et_fd::PairRelation::Irrelevant
-                        })
-                        .count() as f64;
-                    example_uncertainty(table, belief, p) * (relevant / n_fds)
+                    let hit = ctx
+                        .matrix
+                        .zip(batch.as_ref())
+                        .and_then(|(m, b)| Some((m, b, m.pair_id(p.a, p.b)?)));
+                    match hit {
+                        Some((m, b, pid)) => {
+                            let e = b.entropy[pid];
+                            (e + e) * (m.relevant_count(pid) as f64 / n_fds)
+                        }
+                        None => {
+                            let rel = rel
+                                .get_or_insert_with(|| et_fd::SpaceRelations::new(belief.space()));
+                            let relevant = (0..rel.len())
+                                .filter(|&fi| {
+                                    rel.relation(ctx.table, fi, p.a, p.b)
+                                        != et_fd::PairRelation::Irrelevant
+                                })
+                                .count() as f64;
+                            example_uncertainty(ctx.table, belief, p) * (relevant / n_fds)
+                        }
+                    }
                 })
                 .collect();
         }
@@ -294,7 +373,7 @@ impl ResponseStrategy {
                 &conf_holder
             }
         };
-        match (self.basis, index) {
+        match (self.basis, ctx.index) {
             (ScoreBasis::DatasetTuple, Some(index)) => {
                 // The paper's per-tuple p(dirty | θ) over the whole dataset.
                 let params = DetectParams::default();
@@ -324,23 +403,66 @@ impl ResponseStrategy {
                 // Pair-local scoring (ablation, or no index supplied).
                 match self.kind {
                     StrategyKind::UncertaintySampling | StrategyKind::StochasticUncertainty => {
+                        // Uncertainty is belief-internal: raw probabilities,
+                        // posterior-mean confidences (never the draw).
+                        let batch = ctx.matrix.map(|m| {
+                            m.score_all(&belief.confidences(), &DetectParams::unsmoothed())
+                        });
                         candidates
                             .iter()
-                            .map(|&p| example_uncertainty(table, belief, p))
+                            .map(|&p| {
+                                let hit = ctx
+                                    .matrix
+                                    .zip(batch.as_ref())
+                                    .and_then(|(m, b)| Some((b, m.pair_id(p.a, p.b)?)));
+                                match hit {
+                                    Some((b, pid)) => {
+                                        let e = b.entropy[pid];
+                                        e + e
+                                    }
+                                    None => example_uncertainty(ctx.table, belief, p),
+                                }
+                            })
                             .collect()
                     }
-                    _ => candidates
-                        .iter()
-                        .map(|&p| {
-                            if thompson_draw.is_some() {
-                                let (pa, pb) =
-                                    et_fd::pair_dirty_probs(table, belief.space(), conf, p.a, p.b);
-                                pa.max(1.0 - pa) + pb.max(1.0 - pb)
-                            } else {
-                                example_confidence(table, belief, p)
-                            }
-                        })
-                        .collect(),
+                    _ => {
+                        // Confidence scoring: smoothed under a Thompson draw
+                        // (matching `pair_dirty_probs`), raw otherwise
+                        // (matching `example_confidence`).
+                        let params = if thompson_draw.is_some() {
+                            DetectParams::default()
+                        } else {
+                            DetectParams::unsmoothed()
+                        };
+                        let batch = ctx.matrix.map(|m| m.score_all(conf, &params));
+                        candidates
+                            .iter()
+                            .map(|&p| {
+                                let hit = ctx
+                                    .matrix
+                                    .zip(batch.as_ref())
+                                    .and_then(|(m, b)| Some((b, m.pair_id(p.a, p.b)?)));
+                                match hit {
+                                    Some((b, pid)) => {
+                                        let d = b.dirty[pid];
+                                        let s = d.max(1.0 - d);
+                                        s + s
+                                    }
+                                    None if thompson_draw.is_some() => {
+                                        let (pa, pb) = et_fd::pair_dirty_probs(
+                                            ctx.table,
+                                            belief.space(),
+                                            conf,
+                                            p.a,
+                                            p.b,
+                                        );
+                                        pa.max(1.0 - pa) + pb.max(1.0 - pb)
+                                    }
+                                    None => example_confidence(ctx.table, belief, p),
+                                }
+                            })
+                            .collect()
+                    }
                 }
             }
         }
@@ -435,7 +557,7 @@ mod tests {
         let (t, b, pool) = setup(0.9);
         let s = ResponseStrategy::paper(StrategyKind::Random);
         let mut rng = StdRng::seed_from_u64(1);
-        let picked = s.select(&t, None, &b, &pool, 2, &mut rng);
+        let picked = s.select(ScoreCtx::new(&t), &b, &pool, 2, &mut rng);
         assert_eq!(picked.len(), 2);
         assert_ne!(picked[0], picked[1]);
     }
@@ -458,7 +580,7 @@ mod tests {
         let pool = vec![PairExample::new(0, 1), PairExample::new(1, 2)];
         let s = ResponseStrategy::paper(StrategyKind::UncertaintySampling);
         let mut rng = StdRng::seed_from_u64(1);
-        let picked = s.select(&t, None, &b, &pool, 1, &mut rng);
+        let picked = s.select(ScoreCtx::new(&t), &b, &pool, 1, &mut rng);
         assert_eq!(picked[0], PairExample::new(0, 1), "ambiguous pair first");
     }
 
@@ -474,7 +596,7 @@ mod tests {
         let pool = vec![PairExample::new(0, 1), PairExample::new(1, 2)];
         let s = ResponseStrategy::paper(StrategyKind::Best);
         let mut rng = StdRng::seed_from_u64(1);
-        let picked = s.select(&t, None, &b, &pool, 1, &mut rng);
+        let picked = s.select(ScoreCtx::new(&t), &b, &pool, 1, &mut rng);
         assert_eq!(picked[0], PairExample::new(1, 2), "confident pair first");
     }
 
@@ -488,7 +610,7 @@ mod tests {
             let s = ResponseStrategy::paper(kind);
             let run = |seed| {
                 let mut rng = StdRng::seed_from_u64(seed);
-                s.select(&t, None, &b, &pool, 2, &mut rng)
+                s.select(ScoreCtx::new(&t), &b, &pool, 2, &mut rng)
             };
             let a = run(5);
             assert_eq!(a.len(), 2);
@@ -511,10 +633,13 @@ mod tests {
         let greedy = ResponseStrategy::paper(StrategyKind::UncertaintySampling);
         let stochastic = ResponseStrategy::new(StrategyKind::StochasticUncertainty, 1e-3);
         let mut rng = StdRng::seed_from_u64(3);
-        let g = greedy.select(&t, None, &b, &pool, 1, &mut rng);
+        let g = greedy.select(ScoreCtx::new(&t), &b, &pool, 1, &mut rng);
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
-            assert_eq!(stochastic.select(&t, None, &b, &pool, 1, &mut rng), g);
+            assert_eq!(
+                stochastic.select(ScoreCtx::new(&t), &b, &pool, 1, &mut rng),
+                g
+            );
         }
     }
 
@@ -529,7 +654,7 @@ mod tests {
             StrategyKind::Best,
         ] {
             let s = ResponseStrategy::paper(kind);
-            let d = s.policy_distribution(&t, None, &b, &pool, 2);
+            let d = s.policy_distribution(ScoreCtx::new(&t), &b, &pool, 2);
             let sum: f64 = d.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9, "{kind:?} sums to {sum}");
             assert!(d.iter().all(|&p| p >= 0.0));
@@ -554,8 +679,8 @@ mod tests {
         ];
         let sharp = ResponseStrategy::new(StrategyKind::StochasticBestResponse, 0.05);
         let flat = ResponseStrategy::new(StrategyKind::StochasticBestResponse, 50.0);
-        let ds = sharp.policy_distribution(&t, None, &b, &pool, 2);
-        let df = flat.policy_distribution(&t, None, &b, &pool, 2);
+        let ds = sharp.policy_distribution(ScoreCtx::new(&t), &b, &pool, 2);
+        let df = flat.policy_distribution(ScoreCtx::new(&t), &b, &pool, 2);
         let spread = |d: &[f64]| {
             d.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
                 - d.iter().cloned().fold(f64::INFINITY, f64::min)
@@ -570,7 +695,7 @@ mod tests {
         let (t, b, pool) = setup(0.7);
         let s = ResponseStrategy::paper(StrategyKind::ThompsonSampling);
         let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(s.select(&t, None, &b, &pool, 2, &mut rng).len(), 2);
+        assert_eq!(s.select(ScoreCtx::new(&t), &b, &pool, 2, &mut rng).len(), 2);
     }
 
     #[test]
@@ -579,10 +704,10 @@ mod tests {
         let s = ResponseStrategy::paper(StrategyKind::Random);
         let mut rng = StdRng::seed_from_u64(2);
         assert_eq!(
-            s.select(&t, None, &b, &pool, 99, &mut rng).len(),
+            s.select(ScoreCtx::new(&t), &b, &pool, 99, &mut rng).len(),
             pool.len()
         );
-        assert!(s.select(&t, None, &b, &[], 2, &mut rng).is_empty());
+        assert!(s.select(ScoreCtx::new(&t), &b, &[], 2, &mut rng).is_empty());
     }
 }
 
@@ -618,7 +743,7 @@ mod extension_tests {
         // nothing (no other violating pair exists), but its raw score drops.
         let s = ResponseStrategy::paper(StrategyKind::CommitteeDisagreement);
         let mut rng = StdRng::seed_from_u64(1);
-        let picked = s.select(&t, None, &b, &pool, 1, &mut rng);
+        let picked = s.select(ScoreCtx::new(&t), &b, &pool, 1, &mut rng);
         assert_eq!(
             picked[0],
             PairExample::new(0, 1),
@@ -626,7 +751,7 @@ mod extension_tests {
         );
         // With a near-certain belief in fd0, disagreement collapses.
         *b.dist_mut(0) = Beta::new(500.0, 1.0);
-        let scores_sharp = s.policy_distribution(&t, None, &b, &pool, 1);
+        let scores_sharp = s.policy_distribution(ScoreCtx::new(&t), &b, &pool, 1);
         // Policy still selects one pair, but the winner is unchanged
         // (ties fall to candidate order); the invariant we check is
         // validity of the distribution.
@@ -643,8 +768,7 @@ mod extension_tests {
         let s = ResponseStrategy::paper(StrategyKind::DensityWeightedUncertainty);
         let mut rng = StdRng::seed_from_u64(2);
         let picked = s.select(
-            &t,
-            None,
+            ScoreCtx::new(&t),
             &b,
             &[PairExample::new(0, 1), PairExample::new(2, 3)],
             2,
@@ -665,8 +789,8 @@ mod extension_tests {
             let mut r2 = StdRng::seed_from_u64(99);
             // Deterministic strategies ignore the RNG entirely.
             assert_eq!(
-                s.select(&t, None, &b, &pool, 2, &mut r1),
-                s.select(&t, None, &b, &pool, 2, &mut r2),
+                s.select(ScoreCtx::new(&t), &b, &pool, 2, &mut r1),
+                s.select(ScoreCtx::new(&t), &b, &pool, 2, &mut r2),
                 "{kind:?}"
             );
         }

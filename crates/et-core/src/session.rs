@@ -20,17 +20,18 @@
 //!   The batch loop is implemented on top of it, so a step-driven session
 //!   with the same seed reproduces the batch metrics bit for bit.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use et_belief::LabeledPair;
 use et_data::{split_rows, Table};
-use et_fd::{predict_labels, HypothesisSpace, PartitionCache, ViolationIndex};
+use et_fd::{predict_labels, HypothesisSpace, PartitionCache, RelationMatrix, ViolationIndex};
 use et_metrics::ConfusionMatrix;
 
 use crate::candidates::CandidatePool;
 use crate::game::Interaction;
 use crate::learner::Learner;
 use crate::payoff::policy_entropy;
+use crate::respond::ScoreCtx;
 use crate::trainer::Trainer;
 
 /// Session parameters; defaults follow the paper's empirical study.
@@ -365,6 +366,13 @@ pub struct SessionState {
     test_eval_rows: Vec<usize>,
     score_index: ViolationIndex,
     pool: CandidatePool,
+    /// Lazily built pair-relation matrix over the pool (round-invariant:
+    /// relations depend only on the immutable table). Shared by the batch
+    /// loop, the step API, and the serve store via `Arc`.
+    matrix: OnceLock<Arc<RelationMatrix>>,
+    /// When false, strategies score via the per-call reference path
+    /// (parity tests, baseline benchmarks).
+    use_matrix: bool,
     metrics: Vec<IterationMetrics>,
     history: Vec<Interaction>,
     prev_trainer: Vec<f64>,
@@ -425,8 +433,9 @@ impl SessionState {
         // tuple-level p(clean | θ) is judged against the whole dataset).
         let score_index = ViolationIndex::build_with(&table, &space, &cache);
 
-        // Candidate pool restricted to training rows.
-        let pool = CandidatePool::build(&table, &space, cfg.pool_cap, cfg.seed);
+        // Candidate pool restricted to training rows; enumerated from the
+        // cached partitions (bit-identical to the raw group_by scan).
+        let pool = CandidatePool::build_with(&table, &space, &cache, cfg.pool_cap, cfg.seed);
         let pool = CandidatePool::from_pairs(
             pool.pairs()
                 .iter()
@@ -449,6 +458,8 @@ impl SessionState {
             test_eval_rows,
             score_index,
             pool,
+            matrix: OnceLock::new(),
+            use_matrix: true,
             metrics,
             history,
             prev_trainer,
@@ -476,6 +487,30 @@ impl SessionState {
     /// same table (e.g. [`crate::trainer::FpTrainer::with_cache`]).
     pub fn partition_cache(&self) -> &Arc<PartitionCache> {
         &self.cache
+    }
+
+    /// The round-invariant pair-relation matrix over the candidate pool,
+    /// built on first use (strategy scoring, serve-store prewarming) and
+    /// shared from then on.
+    pub fn relation_matrix(&self) -> Arc<RelationMatrix> {
+        Arc::clone(self.matrix.get_or_init(|| {
+            let pairs: Vec<(usize, usize)> = self.pool.pairs().iter().map(|p| (p.a, p.b)).collect();
+            Arc::new(RelationMatrix::build(
+                &self.table,
+                &self.space,
+                &self.cache,
+                &pairs,
+            ))
+        }))
+    }
+
+    /// Disables the matrix fast path: strategies score through the per-call
+    /// reference implementation instead. Used by parity tests and baseline
+    /// benchmarks; results are bit-identical either way.
+    #[must_use]
+    pub fn with_reference_scoring(mut self) -> Self {
+        self.use_matrix = false;
+        self
     }
 
     /// The configuration.
@@ -523,21 +558,20 @@ impl SessionState {
         if self.is_complete() {
             return Ok(None);
         }
+        let matrix = if self.use_matrix {
+            Some(self.relation_matrix())
+        } else {
+            None
+        };
+        let mut ctx = ScoreCtx::new(&self.table).with_index(&self.score_index);
+        if let Some(m) = matrix.as_deref() {
+            ctx = ctx.with_matrix(m);
+        }
         // Policy distribution before selection (for entropy accounting).
-        let (_, dist) = learner.policy_over_fresh(
-            &self.table,
-            Some(&self.score_index),
-            &self.pool,
-            self.cfg.pairs_per_iteration,
-        );
+        let (_, dist) = learner.policy_over_fresh(ctx, &self.pool, self.cfg.pairs_per_iteration);
         let h_policy = policy_entropy(&dist);
 
-        let pairs = learner.select(
-            &self.table,
-            Some(&self.score_index),
-            &self.pool,
-            self.cfg.pairs_per_iteration,
-        );
+        let pairs = learner.select(ctx, &self.pool, self.cfg.pairs_per_iteration);
         if pairs.is_empty() {
             self.exhausted = true; // pool dry
             return Ok(None);
@@ -1036,6 +1070,69 @@ mod tests {
         for (a, b) in batch.history.iter().zip(&stepped.history) {
             assert_eq!(a.sample, b.sample);
             assert_eq!(a.labels, b.labels);
+        }
+    }
+
+    #[test]
+    fn matrix_scoring_is_bit_identical_to_reference() {
+        // Every strategy kind, matrix fast path (the batch default) vs the
+        // per-call reference path (`with_reference_scoring`): same
+        // selections, same labels, same metrics, bit for bit.
+        let (table, dirty, space) = fixture();
+        let cfg = SessionConfig {
+            iterations: 12,
+            ..SessionConfig::default()
+        };
+        for kind in StrategyKind::PAPER_METHODS
+            .into_iter()
+            .chain(StrategyKind::EXTENSIONS)
+        {
+            let run = |reference: bool| {
+                let (mut trainer, mut learner) = agents(kind, &table, &space);
+                let mut st = SessionState::new(
+                    table.clone(),
+                    space.clone(),
+                    &dirty,
+                    cfg.clone(),
+                    &trainer,
+                    &learner,
+                )
+                .expect("valid config");
+                if reference {
+                    st = st.with_reference_scoring();
+                }
+                while st.present(&mut learner).expect("in phase").is_some() {
+                    let labels = st.label_pending(&mut trainer).expect("pending");
+                    let _ = st
+                        .apply_labels(&trainer, &mut learner, &labels)
+                        .expect("aligned");
+                }
+                st.into_result()
+            };
+            let fast = run(false);
+            let reference = run(true);
+            assert_eq!(
+                fast.mae_series(),
+                reference.mae_series(),
+                "{}: MAE series diverged",
+                kind.as_str()
+            );
+            assert_eq!(fast.learner_confidences, reference.learner_confidences);
+            assert_eq!(fast.trainer_confidences, reference.trainer_confidences);
+            assert_eq!(fast.history.len(), reference.history.len());
+            for (a, b) in fast.history.iter().zip(&reference.history) {
+                assert_eq!(a.selected, b.selected, "{}: selections", kind.as_str());
+                assert_eq!(a.sample, b.sample);
+                assert_eq!(a.labels, b.labels);
+            }
+            for (a, b) in fast.metrics.iter().zip(&reference.metrics) {
+                assert_eq!(
+                    a.policy_entropy.to_bits(),
+                    b.policy_entropy.to_bits(),
+                    "{}: policy entropy",
+                    kind.as_str()
+                );
+            }
         }
     }
 

@@ -12,11 +12,12 @@
 use std::sync::Arc;
 
 use et_data::{split_rows, Table};
-use et_fd::{predict_labels, HypothesisSpace, PartitionCache, ViolationIndex};
+use et_fd::{predict_labels, HypothesisSpace, PartitionCache, RelationMatrix, ViolationIndex};
 use et_metrics::ConfusionMatrix;
 
 use crate::candidates::CandidatePool;
 use crate::learner::Learner;
+use crate::respond::ScoreCtx;
 use crate::session::{mae, sample_rows};
 use crate::trainer::Trainer;
 
@@ -119,7 +120,7 @@ pub fn run_weak_strong(
     let test_eval: Vec<usize> = (0..test_rows.len()).collect();
     let score_index = ViolationIndex::build_with(table, &space, &cache);
 
-    let pool = CandidatePool::build(table, &space, cfg.pool_cap, cfg.seed);
+    let pool = CandidatePool::build_with(table, &space, &cache, cfg.pool_cap, cfg.seed);
     let pool = CandidatePool::from_pairs(
         pool.pairs()
             .iter()
@@ -127,13 +128,20 @@ pub fn run_weak_strong(
             .filter(|p| in_train[p.a] && in_train[p.b])
             .collect(),
     );
+    // Round-invariant relations over the pool: precompute once, score every
+    // iteration from the packed matrix.
+    let pool_pairs: Vec<(usize, usize)> = pool.pairs().iter().map(|p| (p.a, p.b)).collect();
+    let matrix = RelationMatrix::build(table, &space, &cache, &pool_pairs);
 
     let mut iterations = Vec::with_capacity(cfg.iterations);
     let mut weak_only = 0;
     let mut escalations = 0;
 
     for t in 0..cfg.iterations {
-        let pairs = learner.select(table, Some(&score_index), &pool, cfg.pairs_per_iteration);
+        let ctx = ScoreCtx::new(table)
+            .with_index(&score_index)
+            .with_matrix(&matrix);
+        let pairs = learner.select(ctx, &pool, cfg.pairs_per_iteration);
         if pairs.is_empty() {
             break;
         }

@@ -1,0 +1,100 @@
+//! Property tests pinning [`CandidatePool::build_with`] (partition-cache
+//! enumeration) to the legacy `table.group_by` scan: same pair sequence,
+//! same reservoir draws, bit-identical pool — including under reservoir
+//! pressure (small `max_pairs`).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use et_core::{CandidatePool, PairExample};
+use et_data::{AttrId, Schema, Table};
+use et_fd::{Fd, HypothesisSpace, PartitionCache};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn arb_rows() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..4, 0u8..3, 0u8..3), 1..48)
+}
+
+fn table_of(rows: &[(u8, u8, u8)]) -> Table {
+    let mut b = Table::builder(Schema::new(["x", "y", "a"]));
+    for (x, y, a) in rows {
+        b.push_row(&[format!("x{x}"), format!("y{y}"), format!("a{a}")]);
+    }
+    b.finish()
+}
+
+fn space() -> HypothesisSpace {
+    HypothesisSpace::from_fds([
+        Fd::from_attrs([0], 2),
+        Fd::from_attrs([0], 1),    // duplicate determinant {x}
+        Fd::from_attrs([0, 1], 2), // multi-attribute LHS
+        Fd::from_attrs([1], 0),
+        Fd::from_attrs([1, 2], 0),
+    ])
+}
+
+/// The pre-PR raw enumeration, reimplemented verbatim: `group_by` per
+/// distinct LHS, skip singleton groups, reservoir-sample with the same
+/// seeded RNG. [`CandidatePool::build_with`] must reproduce it exactly.
+fn legacy_build(
+    table: &Table,
+    space: &HypothesisSpace,
+    max_pairs: usize,
+    seed: u64,
+) -> Vec<PairExample> {
+    let mut seen: HashSet<PairExample> = HashSet::new();
+    let mut reservoir: Vec<PairExample> = Vec::new();
+    let mut n_seen = 0usize;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x853c_49e6_748f_ea9b);
+    for lhs in space.distinct_lhs() {
+        let attrs: Vec<AttrId> = lhs.to_vec();
+        let grouped = table.group_by(&attrs);
+        for group in &grouped.groups {
+            if group.len() < 2 {
+                continue;
+            }
+            for (i, &a) in group.iter().enumerate() {
+                for &b in &group[i + 1..] {
+                    let p = PairExample::new(a as usize, b as usize);
+                    if !seen.insert(p) {
+                        continue;
+                    }
+                    n_seen += 1;
+                    if reservoir.len() < max_pairs {
+                        reservoir.push(p);
+                    } else {
+                        let j = rng.gen_range(0..n_seen);
+                        if j < max_pairs {
+                            reservoir[j] = p;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    reservoir.sort_unstable();
+    reservoir
+}
+
+proptest! {
+    /// Cache-backed enumeration is bit-identical to the legacy group_by
+    /// scan, with and without reservoir pressure, for arbitrary seeds.
+    #[test]
+    fn build_with_equals_legacy(
+        rows in arb_rows(),
+        seed in 0u64..1024,
+        cap in prop_oneof![Just(2usize), Just(5), Just(17), Just(10_000)],
+    ) {
+        let t = table_of(&rows);
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let want = legacy_build(&t, &sp, cap, seed);
+        let got = CandidatePool::build_with(&t, &sp, &cache, cap, seed);
+        prop_assert_eq!(got.pairs(), want.as_slice());
+        // The transient-cache convenience path too.
+        let direct = CandidatePool::build(&t, &sp, cap, seed);
+        prop_assert_eq!(direct.pairs(), want.as_slice());
+    }
+}

@@ -993,8 +993,19 @@ fn run_fig2_participants(opts: &RunOptions) -> ExperimentOutput {
 /// re-learns the post-shift world.
 fn run_drift(opts: &RunOptions) -> ExperimentOutput {
     use et_core::trainer::Trainer;
-    use et_core::{sample_rows, CandidatePool, Learner};
-    use et_fd::{PartitionCache, ViolationIndex};
+    use et_core::{sample_rows, CandidatePool, Learner, ScoreCtx};
+    use et_fd::{PartitionCache, RelationMatrix, ViolationIndex};
+
+    /// The round-invariant relation matrix of one table phase's pool.
+    fn pool_matrix(
+        table: &et_data::Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        pool: &CandidatePool,
+    ) -> RelationMatrix {
+        let pairs: Vec<(usize, usize)> = pool.pairs().iter().map(|p| (p.a, p.b)).collect();
+        RelationMatrix::build(table, space, cache, &pairs)
+    }
 
     let iterations = opts.iterations.max(45);
     let shift_at = iterations / 3;
@@ -1044,8 +1055,9 @@ fn run_drift(opts: &RunOptions) -> ExperimentOutput {
         // phase shares one partition cache: the index build warms it, the
         // trainer's per-round sample labeling restricts it.
         let mut table = ds.table.clone();
-        let mut pool = CandidatePool::build(&table, &space, 4000, 1);
         let mut cache = Arc::new(PartitionCache::new(&table));
+        let mut pool = CandidatePool::build_with(&table, &space, &cache, 4000, 1);
+        let mut matrix = pool_matrix(&table, &space, &cache, &pool);
         let mut index = ViolationIndex::build_with(&table, &space, &cache);
         let mut trainer = trainer.with_cache(Arc::clone(&cache));
         let mut pre_shift_mae = 0.0;
@@ -1065,12 +1077,16 @@ fn run_drift(opts: &RunOptions) -> ExperimentOutput {
                     &InjectConfig::with_degree(0.45, 0x9C),
                 );
                 table = ds2.table;
-                pool = CandidatePool::build(&table, &space, 4000, 2);
                 cache = Arc::new(PartitionCache::new(&table));
+                pool = CandidatePool::build_with(&table, &space, &cache, 4000, 2);
+                matrix = pool_matrix(&table, &space, &cache, &pool);
                 index = ViolationIndex::build_with(&table, &space, &cache);
                 trainer = trainer.with_cache(Arc::clone(&cache));
             }
-            let pairs = learner.select(&table, Some(&index), &pool, 5);
+            let ctx = ScoreCtx::new(&table)
+                .with_index(&index)
+                .with_matrix(&matrix);
+            let pairs = learner.select(ctx, &pool, 5);
             if pairs.is_empty() {
                 break;
             }

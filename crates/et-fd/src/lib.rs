@@ -34,6 +34,7 @@ pub mod incremental;
 pub mod keys;
 pub mod measures;
 pub mod partitions;
+pub mod relmatrix;
 pub mod repair;
 pub mod space;
 pub mod violations;
@@ -51,6 +52,7 @@ pub use incremental::SubsampleIndex;
 pub use keys::{discover_keys, is_key, Ucc};
 pub use measures::{g2_g3, ApproxMeasures};
 pub use partitions::{discover_tane, StrippedPartition, TaneFd};
+pub use relmatrix::{violation_factors, PairScores, RelationMatrix};
 pub use repair::{apply_repairs, propose_repairs, Repair};
 pub use space::HypothesisSpace;
 pub use violations::{

@@ -1,0 +1,461 @@
+//! The round-invariant pair-relation matrix: precomputed, bit-packed
+//! relations for batch strategy scoring.
+//!
+//! Every response strategy scores candidate pairs from the relation of each
+//! pair to each FD of the hypothesis space — a quantity that depends only on
+//! the (immutable) table, so it never changes within a session. The
+//! per-call reference path ([`crate::detect::pair_dirty_probs_with`])
+//! re-derives those relations from raw cells on every score: `O(rounds ×
+//! candidates × |space| × |attrs|)` work. A [`RelationMatrix`] computes each
+//! [`PairRelation`] exactly once and packs it into two bits, after which a
+//! whole confidence-vector rescore is a linear pass over packed words.
+//!
+//! # Layout
+//!
+//! Relations are stored row-major per pair, 32 FDs per `u64` word. FD `fi`
+//! of pair `pid` occupies bits `2·(fi mod 32) .. 2·(fi mod 32)+2` of word
+//! `pid · words_per_pair + fi / 32`, coded
+//!
+//! ```text
+//! 0b00 = Irrelevant    0b01 = Satisfies    0b10 = Violates
+//! ```
+//!
+//! so the violated-FD mask of a word is `word & 0xAAAA…A` (the high lane
+//! bits) and the relevant-FD count is `popcount((word | word >> 1) &
+//! 0x5555…5)` — no per-FD dispatch.
+//!
+//! # PLI-based derivation
+//!
+//! Relations are derived from the [`PartitionCache`]'s row → class owner
+//! arrays, not from raw cells: two rows agree on an attribute set iff they
+//! share a (non-[`NO_CLASS`]) stripped-partition class — a stripped row's
+//! value combination is unique to it, so [`NO_CLASS`] rows agree with no
+//! other row. The same argument applies to the single-attribute RHS
+//! partition, so both halves of [`pair_relation`] reduce to two array
+//! lookups per FD. The per-FD owner arrays are memoized in the shared
+//! cache, so a session pays for each distinct LHS once across the matrix,
+//! every [`crate::ViolationIndex`] build, and the trainer's restrictions.
+//!
+//! # Deterministic parallelism
+//!
+//! Large builds fan disjoint pair chunks across a [`std::thread::scope`]
+//! pool: each worker fills its own `chunks_mut` slice of the output words,
+//! so every word is written by exactly one thread and the assembled buffer
+//! is bit-identical to the serial fill by construction (no merge step at
+//! all). Worker count follows the same `ET_INDEX_THREADS` /
+//! available-parallelism heuristic as the index builds.
+
+use std::sync::Arc;
+
+use et_data::Table;
+
+use crate::attrset::AttrSet;
+use crate::cache::{PartitionCache, NO_CLASS};
+use crate::detect::{binary_entropy, DetectParams};
+use crate::space::HypothesisSpace;
+use crate::violations::{index_threads, pair_relation, PairRelation};
+
+/// 2-bit relation codes per 64-bit word.
+const FDS_PER_WORD: usize = 32;
+/// Lane code for [`PairRelation::Satisfies`] (low bit of the lane).
+const CODE_SATISFIES: u64 = 0b01;
+/// Lane code for [`PairRelation::Violates`] (high bit of the lane).
+const CODE_VIOLATES: u64 = 0b10;
+/// High bit of every 2-bit lane: the per-word violated-FD mask.
+const VIOLATES_MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+/// Low bit of every 2-bit lane: the per-word satisfied-FD mask.
+const SATISFIES_MASK: u64 = 0x5555_5555_5555_5555;
+
+/// One FD's cached row→class owner arrays: LHS set and single-attr RHS.
+type OwnerPair = (Arc<Vec<usize>>, Arc<Vec<usize>>);
+
+/// Precomputed [`PairRelation`]s of a fixed (table, space, pair-list)
+/// triple, 2-bit packed, with batch noisy-OR scoring over the packed words.
+///
+/// Build once per session ([`RelationMatrix::build`]), then rescore every
+/// belief update with [`RelationMatrix::score_all`] — the scoring pass
+/// touches only packed words and a precomputed factor table, never the
+/// table itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationMatrix {
+    n_fds: usize,
+    words_per_pair: usize,
+    /// The pair list, in build order (`pairs[pid]` is pair `pid`).
+    pairs: Vec<(usize, usize)>,
+    /// `(pair, pid)` sorted by pair, for [`RelationMatrix::pair_id`].
+    lookup: Vec<((usize, usize), usize)>,
+    /// Packed relations, row-major per pair.
+    words: Vec<u64>,
+}
+
+/// Batch scores of every pair of a [`RelationMatrix`], aligned by pair id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairScores {
+    /// Per-pair noisy-OR dirty probability (both tuples of a pair receive
+    /// the same probability — pair evidence cannot tell the sides apart).
+    pub dirty: Vec<f64>,
+    /// `binary_entropy(dirty[pid])` — the per-tuple entropy of the pair.
+    pub entropy: Vec<f64>,
+}
+
+/// The per-FD noisy-OR keep-clean factors `1 − indicator(c_f)` for a
+/// confidence vector: precompute once, reuse across every pair of a batch.
+/// Multiplying the factors of a pair's violated FDs in ascending FD order
+/// reproduces [`crate::detect::pair_dirty_probs_with`] bit for bit.
+pub fn violation_factors(confidences: &[f64], params: &DetectParams) -> Vec<f64> {
+    confidences
+        .iter()
+        .map(|&c| 1.0 - params.indicator.apply(c))
+        .collect()
+}
+
+impl RelationMatrix {
+    /// Builds the matrix for `pairs` over `table` under `space`, reusing
+    /// (and warming) the shared partition cache. Thread count follows the
+    /// `ET_INDEX_THREADS` / available-parallelism heuristic; the result is
+    /// identical for every thread count.
+    ///
+    /// Pairs may be in any order; each `(a, b)` is looked up by
+    /// [`RelationMatrix::pair_id`] in either orientation.
+    ///
+    /// # Panics
+    /// Panics when `table` does not match the cache's row count, or a pair
+    /// references a row outside the table.
+    pub fn build(
+        table: &Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        pairs: &[(usize, usize)],
+    ) -> Self {
+        let threads = index_threads(pairs.len(), space.len().max(1));
+        Self::build_with_threads(table, space, cache, pairs, threads)
+    }
+
+    /// [`RelationMatrix::build`] with an explicit worker count
+    /// (`threads <= 1` runs serially).
+    ///
+    /// The parallel path splits `pairs` into contiguous chunks and hands
+    /// each worker the matching disjoint slice of the output words
+    /// (`chunks_mut`), so every word is written by exactly one thread and
+    /// the buffer is assembled in pair order without a merge — bit-identical
+    /// to the serial fill by construction.
+    ///
+    /// # Panics
+    /// Panics when `table` does not match the cache's row count, or a pair
+    /// references a row outside the table.
+    pub fn build_with_threads(
+        table: &Table,
+        space: &HypothesisSpace,
+        cache: &PartitionCache,
+        pairs: &[(usize, usize)],
+        threads: usize,
+    ) -> Self {
+        let n_fds = space.len();
+        let words_per_pair = n_fds.div_ceil(FDS_PER_WORD);
+        // Per-FD owner arrays: row → stripped-class id for the LHS set and
+        // the single-attribute RHS. Memoized in the shared cache, so FDs
+        // with a common determinant share one lookup.
+        let owners: Vec<OwnerPair> = space
+            .fds()
+            .iter()
+            .map(|fd| {
+                (
+                    cache.row_classes(table, fd.lhs),
+                    cache.row_classes(table, AttrSet::singleton(fd.rhs)),
+                )
+            })
+            .collect();
+        let mut words = vec![0u64; pairs.len() * words_per_pair];
+        let fill = |chunk: &[(usize, usize)], out: &mut [u64]| {
+            for (pi, &(a, b)) in chunk.iter().enumerate() {
+                let base = pi * words_per_pair;
+                for (fi, (lhs_owner, rhs_owner)) in owners.iter().enumerate() {
+                    let la = lhs_owner[a];
+                    if la == NO_CLASS || la != lhs_owner[b] {
+                        continue; // Irrelevant = 0b00, words start zeroed.
+                    }
+                    let ra = rhs_owner[a];
+                    let code = if ra != NO_CLASS && ra == rhs_owner[b] {
+                        CODE_SATISFIES
+                    } else {
+                        CODE_VIOLATES
+                    };
+                    out[base + fi / FDS_PER_WORD] |= code << ((fi % FDS_PER_WORD) * 2);
+                }
+            }
+        };
+        if threads <= 1 || pairs.len() < 2 || words_per_pair == 0 {
+            fill(pairs, &mut words);
+        } else {
+            let chunk = pairs.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let fill = &fill;
+                let handles: Vec<_> = pairs
+                    .chunks(chunk)
+                    .zip(words.chunks_mut(chunk * words_per_pair))
+                    .map(|(pc, wc)| s.spawn(move || fill(pc, wc)))
+                    .collect();
+                // Join explicitly (not via the scope-exit wait) so the join
+                // edge goes through pthread_join, which TSan can see with an
+                // uninstrumented std; propagate worker panics unchanged.
+                for h in handles {
+                    if let Err(payload) = h.join() {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            });
+        }
+        let mut lookup: Vec<((usize, usize), usize)> = pairs.iter().copied().zip(0..).collect();
+        lookup.sort_unstable();
+        Self {
+            n_fds,
+            words_per_pair,
+            pairs: pairs.to_vec(),
+            lookup,
+            words,
+        }
+    }
+
+    /// Number of pairs covered.
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of FDs covered.
+    pub fn n_fds(&self) -> usize {
+        self.n_fds
+    }
+
+    /// True when no pairs are covered.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pair list, in build order (`pairs()[pid]` is pair `pid`).
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// The pair id of `(a, b)` (orientation-insensitive), or `None` when
+    /// the pair is not covered by this matrix.
+    pub fn pair_id(&self, a: usize, b: usize) -> Option<usize> {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.lookup
+            .binary_search_by_key(&key, |&(p, _)| p)
+            .ok()
+            .map(|i| self.lookup[i].1)
+    }
+
+    /// The stored relation of pair `pid` to FD `fi` — equal to
+    /// [`pair_relation`]`(table, fd, a, b)` for the build inputs.
+    ///
+    /// # Panics
+    /// Panics when `pid` or `fi` is out of range.
+    pub fn relation(&self, pid: usize, fi: usize) -> PairRelation {
+        assert!(fi < self.n_fds, "FD index {fi} out of range");
+        let w = self.words[pid * self.words_per_pair + fi / FDS_PER_WORD];
+        match (w >> ((fi % FDS_PER_WORD) * 2)) & 0b11 {
+            CODE_SATISFIES => PairRelation::Satisfies,
+            CODE_VIOLATES => PairRelation::Violates,
+            _ => PairRelation::Irrelevant,
+        }
+    }
+
+    /// The FDs pair `pid` violates, in ascending FD order (the reference
+    /// noisy-OR multiplication order).
+    ///
+    /// # Panics
+    /// Panics when `pid` is out of range.
+    pub fn violated_indices(&self, pid: usize) -> impl Iterator<Item = usize> + '_ {
+        let row = &self.words[pid * self.words_per_pair..(pid + 1) * self.words_per_pair];
+        row.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w & VIOLATES_MASK;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let lane = bits.trailing_zeros() as usize / 2;
+                    bits &= bits - 1;
+                    Some(wi * FDS_PER_WORD + lane)
+                }
+            })
+        })
+    }
+
+    /// How many FDs the pair is relevant to (relation ≠ Irrelevant): the
+    /// representativeness weight of density-weighted uncertainty sampling.
+    ///
+    /// # Panics
+    /// Panics when `pid` is out of range.
+    pub fn relevant_count(&self, pid: usize) -> usize {
+        self.words[pid * self.words_per_pair..(pid + 1) * self.words_per_pair]
+            .iter()
+            .map(|&w| ((w | (w >> 1)) & SATISFIES_MASK).count_ones() as usize)
+            .sum()
+    }
+
+    /// The noisy-OR dirty probability of pair `pid` given precomputed
+    /// keep-clean factors (see [`violation_factors`]). Factors multiply in
+    /// ascending FD order — bit-identical to the reference
+    /// [`crate::detect::pair_dirty_probs_with`] scan.
+    ///
+    /// # Panics
+    /// Panics when `pid` is out of range or `factors` does not have one
+    /// entry per FD.
+    pub fn dirty_prob_with_factors(
+        &self,
+        pid: usize,
+        factors: &[f64],
+        params: &DetectParams,
+    ) -> f64 {
+        assert_eq!(
+            factors.len(),
+            self.n_fds,
+            "factor vector does not match hypothesis space"
+        );
+        let base = pid * self.words_per_pair;
+        let mut keep_clean = 1.0 - params.base_rate;
+        for wi in 0..self.words_per_pair {
+            let mut bits = self.words[base + wi] & VIOLATES_MASK;
+            while bits != 0 {
+                let lane = bits.trailing_zeros() as usize / 2;
+                bits &= bits - 1;
+                keep_clean *= factors[wi * FDS_PER_WORD + lane];
+            }
+        }
+        1.0 - keep_clean
+    }
+
+    /// Batch scoring: the noisy-OR dirty probability and its binary entropy
+    /// for *every* pair, in one pass over the packed words (32 FDs per word,
+    /// no per-FD closure dispatch). Bit-identical to calling
+    /// [`crate::detect::pair_dirty_probs_with`] + [`binary_entropy`] per
+    /// pair with the same `confidences` and `params`.
+    ///
+    /// # Panics
+    /// Panics when `confidences` does not have one entry per FD.
+    pub fn score_all(&self, confidences: &[f64], params: &DetectParams) -> PairScores {
+        assert_eq!(
+            confidences.len(),
+            self.n_fds,
+            "confidence vector does not match hypothesis space"
+        );
+        let factors = violation_factors(confidences, params);
+        let mut dirty = Vec::with_capacity(self.pairs.len());
+        let mut entropy = Vec::with_capacity(self.pairs.len());
+        for pid in 0..self.pairs.len() {
+            let p = self.dirty_prob_with_factors(pid, &factors, params);
+            dirty.push(p);
+            entropy.push(binary_entropy(p));
+        }
+        PairScores { dirty, entropy }
+    }
+
+    /// Debug-build invariant: every stored relation equals the raw-cell
+    /// [`pair_relation`] (used by tests; O(pairs × FDs × attrs)).
+    pub fn verify_against(&self, table: &Table, space: &HypothesisSpace) -> bool {
+        self.pairs.iter().enumerate().all(|(pid, &(a, b))| {
+            space
+                .iter()
+                .all(|(fi, fd)| self.relation(pid, fi) == pair_relation(table, &fd, a, b))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fd::Fd;
+    use et_data::table::paper_table1;
+
+    fn space() -> HypothesisSpace {
+        HypothesisSpace::from_fds([
+            Fd::from_attrs([1], 2),    // Team -> City
+            Fd::from_attrs([2, 3], 4), // City,Role -> Apps
+        ])
+    }
+
+    fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn relations_match_pair_relation() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        assert!(m.verify_against(&t, &sp));
+        // Paper anchors: (t1, t2) violates Team -> City.
+        let pid = m.pair_id(0, 1).expect("covered");
+        assert_eq!(m.relation(pid, 0), PairRelation::Violates);
+        assert_eq!(m.violated_indices(pid).collect::<Vec<_>>(), vec![0]);
+        // (t3, t4) satisfies it.
+        let pid = m.pair_id(2, 3).expect("covered");
+        assert_eq!(m.relation(pid, 0), PairRelation::Satisfies);
+        assert_eq!(m.violated_indices(pid).count(), 0);
+        assert_eq!(m.relevant_count(pid), 1);
+    }
+
+    #[test]
+    fn pair_id_is_orientation_insensitive() {
+        let t = paper_table1();
+        let cache = PartitionCache::new(&t);
+        let m = RelationMatrix::build(&t, &space(), &cache, &[(0, 1), (2, 3)]);
+        assert_eq!(m.pair_id(1, 0), m.pair_id(0, 1));
+        assert_eq!(m.pair_id(0, 4), None);
+        assert_eq!(m.n_pairs(), 2);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn score_all_matches_reference() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        let conf = [0.96, 0.55];
+        for params in [DetectParams::unsmoothed(), DetectParams::default()] {
+            let scores = m.score_all(&conf, &params);
+            for (pid, &(a, b)) in pairs.iter().enumerate() {
+                let (pa, _) = crate::detect::pair_dirty_probs_with(&t, &sp, &conf, a, b, &params);
+                assert_eq!(scores.dirty[pid], pa, "pair ({a},{b})");
+                assert_eq!(scores.entropy[pid], binary_entropy(pa));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pair_list() {
+        let t = paper_table1();
+        let cache = PartitionCache::new(&t);
+        let m = RelationMatrix::build(&t, &space(), &cache, &[]);
+        assert!(m.is_empty());
+        assert_eq!(m.n_fds(), 2);
+        assert!(m
+            .score_all(&[0.5, 0.5], &DetectParams::default())
+            .dirty
+            .is_empty());
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let serial = RelationMatrix::build_with_threads(&t, &sp, &cache, &pairs, 1);
+        for threads in [2, 3, 8] {
+            let par = RelationMatrix::build_with_threads(&t, &sp, &cache, &pairs, threads);
+            assert_eq!(serial, par, "{threads} threads");
+        }
+    }
+}

@@ -259,7 +259,7 @@ pub(crate) fn fds_by_lhs(
 /// `ET_INDEX_THREADS` environment variable when set (and parseable),
 /// otherwise [`std::thread::available_parallelism`] — gated so small
 /// builds stay serial (thread spawn would dominate).
-fn index_threads(n_tasks: usize, n_rows: usize) -> usize {
+pub(crate) fn index_threads(n_tasks: usize, n_rows: usize) -> usize {
     let configured = std::env::var("ET_INDEX_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

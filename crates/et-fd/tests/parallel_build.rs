@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use et_fd::{Fd, HypothesisSpace, PartitionCache, ViolationIndex};
+use et_fd::{Fd, HypothesisSpace, PartitionCache, RelationMatrix, ViolationIndex};
 
 fn fixture() -> (et_data::Table, HypothesisSpace) {
     let mut ds = et_data::gen::hospital(240, 7);
@@ -49,6 +49,68 @@ fn concurrent_builders_share_one_cache() {
                 s.spawn(move || {
                     let idx = ViolationIndex::build_with_threads(&table, space, &cache, threads);
                     assert_eq!(*serial, idx);
+                })
+            })
+            .collect();
+        for h in handles {
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+/// All a<b pairs over a row prefix — a dense pool for the matrix builds.
+fn prefix_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[test]
+fn matrix_parallel_build_is_bit_identical_to_serial() {
+    let (table, space) = fixture();
+    let cache = PartitionCache::new(&table);
+    let pairs = prefix_pairs(64.min(table.nrows()));
+    let serial = RelationMatrix::build_with_threads(&table, &space, &cache, &pairs, 1);
+    for threads in [2, 4, 8] {
+        let par = RelationMatrix::build_with_threads(&table, &space, &cache, &pairs, threads);
+        assert_eq!(serial, par, "{threads}-thread matrix build diverged");
+    }
+    assert_eq!(
+        serial,
+        RelationMatrix::build(&table, &space, &cache, &pairs)
+    );
+}
+
+#[test]
+fn concurrent_matrix_builders_share_one_cache() {
+    let (table, space) = fixture();
+    let table = Arc::new(table);
+    let cache = Arc::new(PartitionCache::new(&table));
+    let pairs = prefix_pairs(48.min(table.nrows()));
+    let serial = RelationMatrix::build_with_threads(&table, &space, &cache, &pairs, 1);
+    // Hammer the same cold cache from many threads at once: races on the
+    // memo maps must neither corrupt nor change results. Handles are joined
+    // explicitly (not left to the scope-exit wait) so the join edge goes
+    // through pthread_join, which TSan can see with an uninstrumented std.
+    std::thread::scope(|s| {
+        let handles: Vec<_> = [1, 2, 4, 1, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                let table = Arc::clone(&table);
+                let cache = Arc::clone(&cache);
+                let space = &space;
+                let pairs = &pairs;
+                let serial = &serial;
+                s.spawn(move || {
+                    let m =
+                        RelationMatrix::build_with_threads(&table, space, &cache, pairs, threads);
+                    assert_eq!(*serial, m);
                 })
             })
             .collect();

@@ -1,0 +1,134 @@
+//! Property tests pinning the [`RelationMatrix`] scoring substrate to the
+//! per-pair reference path: packed relations must equal the raw-cell
+//! [`pair_relation`] brute force, batch `score_all` must be bit-for-bit
+//! equal to the `pair_dirty_probs_with`/`binary_entropy` scan, and the
+//! parallel build must equal the serial one.
+
+use proptest::prelude::*;
+
+use et_data::{Schema, Table};
+use et_fd::{
+    binary_entropy, pair_dirty_probs_with, pair_relation, violation_factors, DetectParams, Fd,
+    HypothesisSpace, PartitionCache, RelationMatrix,
+};
+
+/// Arbitrary small tables over three low-cardinality columns: enough to
+/// produce singleton, clean and mixed LHS groups.
+fn arb_rows() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((0u8..4, 0u8..3, 0u8..3), 0..48)
+}
+
+fn table_of(rows: &[(u8, u8, u8)]) -> Table {
+    let mut b = Table::builder(Schema::new(["x", "y", "a"]));
+    for (x, y, a) in rows {
+        b.push_row(&[format!("x{x}"), format!("y{y}"), format!("a{a}")]);
+    }
+    b.finish()
+}
+
+fn space() -> HypothesisSpace {
+    HypothesisSpace::from_fds([
+        Fd::from_attrs([0], 2),
+        Fd::from_attrs([0], 1),    // shares determinant {x}
+        Fd::from_attrs([0, 1], 2), // derived by partition product
+        Fd::from_attrs([1], 0),
+        Fd::from_attrs([1, 2], 0),
+    ])
+}
+
+fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+/// A confidence vector of the space's width from arbitrary bytes.
+fn arb_confidences() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u8..=255, 5)
+        .prop_map(|bytes| bytes.into_iter().map(|b| f64::from(b) / 255.0).collect())
+}
+
+proptest! {
+    /// Every stored relation equals the raw-cell brute force, for every
+    /// pair and FD; `violated_indices` and `relevant_count` agree with the
+    /// per-FD scan.
+    #[test]
+    fn relations_equal_brute_force(rows in arb_rows()) {
+        let t = table_of(&rows);
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        prop_assert_eq!(m.n_pairs(), pairs.len());
+        prop_assert_eq!(m.n_fds(), sp.len());
+        for (pid, &(a, b)) in pairs.iter().enumerate() {
+            prop_assert_eq!(m.pair_id(a, b), Some(pid));
+            prop_assert_eq!(m.pair_id(b, a), Some(pid));
+            let mut violated = Vec::new();
+            let mut relevant = 0usize;
+            for (fi, fd) in sp.iter() {
+                let want = pair_relation(&t, &fd, a, b);
+                prop_assert_eq!(m.relation(pid, fi), want, "pair ({},{}) fd {}", a, b, fi);
+                if want == et_fd::PairRelation::Violates {
+                    violated.push(fi);
+                }
+                if want != et_fd::PairRelation::Irrelevant {
+                    relevant += 1;
+                }
+            }
+            prop_assert_eq!(m.violated_indices(pid).collect::<Vec<_>>(), violated);
+            prop_assert_eq!(m.relevant_count(pid), relevant);
+        }
+    }
+
+    /// Batch `score_all` is bit-for-bit equal to the per-pair reference
+    /// path, for both parameterisations the strategies use (raw and
+    /// smoothed) under arbitrary confidence vectors.
+    #[test]
+    fn score_all_equals_reference(rows in arb_rows(), conf in arb_confidences()) {
+        let t = table_of(&rows);
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        for params in [DetectParams::unsmoothed(), DetectParams::default()] {
+            let scores = m.score_all(&conf, &params);
+            let factors = violation_factors(&conf, &params);
+            for (pid, &(a, b)) in pairs.iter().enumerate() {
+                let (pa, pb) = pair_dirty_probs_with(&t, &sp, &conf, a, b, &params);
+                // The pair's two tuples share one probability by definition.
+                prop_assert_eq!(pa.to_bits(), pb.to_bits());
+                prop_assert_eq!(scores.dirty[pid].to_bits(), pa.to_bits(),
+                    "dirty prob diverged for pair ({},{})", a, b);
+                prop_assert_eq!(
+                    scores.entropy[pid].to_bits(),
+                    binary_entropy(pa).to_bits()
+                );
+                prop_assert_eq!(
+                    m.dirty_prob_with_factors(pid, &factors, &params).to_bits(),
+                    pa.to_bits()
+                );
+            }
+        }
+    }
+
+    /// Parallel builds are equal to the serial build for every thread
+    /// count, including the auto-selected one.
+    #[test]
+    fn parallel_build_equals_serial(rows in arb_rows()) {
+        let t = table_of(&rows);
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let serial = RelationMatrix::build_with_threads(&t, &sp, &cache, &pairs, 1);
+        for threads in [2, 3, 7] {
+            let par = RelationMatrix::build_with_threads(&t, &sp, &cache, &pairs, threads);
+            prop_assert_eq!(&serial, &par, "{} threads diverged", threads);
+        }
+        prop_assert_eq!(&serial, &RelationMatrix::build(&t, &sp, &cache, &pairs));
+    }
+}

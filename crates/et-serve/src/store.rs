@@ -200,6 +200,9 @@ impl SessionStore {
         // The hosted trainer labels against the session's shared partition
         // cache — same labels, no per-round subset re-indexing.
         let trainer = parts.trainer.with_cache(state.partition_cache().clone());
+        // Prebuild the round-invariant relation matrix at create time so the
+        // first next_pairs call pays scoring cost only, not matrix setup.
+        let _ = state.relation_matrix();
         let live = LiveSession {
             id,
             seed,

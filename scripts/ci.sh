@@ -68,7 +68,7 @@ if tsan_probe; then
     CARGO_TARGET_DIR=target/tsan \
     cargo +nightly test -q -p et-serve --test server_integration \
     --target "$TSAN_TARGET"
-  echo "==> ThreadSanitizer: et-fd parallel index builds + shared cache"
+  echo "==> ThreadSanitizer: et-fd parallel index/matrix builds + shared cache"
   RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
     TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan-suppressions.txt" \
     CARGO_TARGET_DIR=target/tsan \
