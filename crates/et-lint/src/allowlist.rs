@@ -1,20 +1,37 @@
-//! The `et-lint.toml` allowlist: vetted exceptions to the L-rules.
+//! The `et-lint.toml` allowlist: vetted exceptions to the L-rules, plus the
+//! graph-rule configuration (entry points and taint sources).
 //!
-//! The file is a sequence of `[[allow]]` tables; only the TOML subset below
-//! is parsed (std-only, no TOML dependency):
+//! The file is a sequence of `[[allow]]`, `[[entry]]`, and `[[source]]`
+//! tables; only the TOML subset below is parsed (std-only, no TOML
+//! dependency):
 //!
 //! ```toml
 //! [[allow]]
-//! rule = "L1"                       # required: any rule id, L1..L8
+//! rule = "L1"                       # required: any rule id, L1..L11
 //! path = "crates/et-data/src/x.rs"  # required: repo-relative, '/'-separated
 //! pattern = "best.expect"           # optional: substring of offending line
 //! line = 76                         # optional: exact 1-based line
 //! reason = "why this is sound"      # required, non-empty
+//!
+//! [[entry]]                         # graph-rule entry point (L9 or L11)
+//! rule = "L9"
+//! pattern = "SessionState::"        # substring of the qualified fn name
+//! note = "public session API"       # optional
+//!
+//! [[source]]                        # L11 taint source
+//! rule = "L11"
+//! pattern = "Instant::now"          # substring of rendered call text, or
+//!                                   # the special token "hash-iter"
+//! note = "wall clock"               # optional
 //! ```
 //!
-//! An entry matches a violation when the rule matches, the violation's path
-//! ends with `path`, and every provided narrowing field matches. Unused
-//! entries are reported so the allowlist cannot rot silently.
+//! An `[[allow]]` entry matches a violation when the rule matches, the
+//! violation's path ends with `path`, and every provided narrowing field
+//! matches. Unused entries are reported so the allowlist cannot rot
+//! silently (with a nearest-path suggestion when the path looks moved).
+//! `[[entry]]`/`[[source]]` tables configure rules rather than suppress
+//! findings, so they are exempt from staleness tracking; without any of
+//! them the graph rules are vacuous.
 
 use crate::rules::Violation;
 
@@ -33,11 +50,28 @@ pub struct AllowEntry {
     pub reason: String,
 }
 
+/// One `[[entry]]` (graph-rule entry point) or `[[source]]` (L11 taint
+/// source) table.
+#[derive(Debug, Clone)]
+pub struct GraphSpec {
+    /// Rule id: `L9`/`L11` for entries, `L11` for sources.
+    pub rule: String,
+    /// Substring pattern: matched against qualified fn names for entries,
+    /// rendered call text for sources (`hash-iter` is special-cased).
+    pub pattern: String,
+    /// Optional annotation (documentation only).
+    pub note: Option<String>,
+}
+
 /// The parsed allowlist.
 #[derive(Debug, Default)]
 pub struct Allowlist {
-    /// All entries in file order.
+    /// All `[[allow]]` entries in file order.
     pub entries: Vec<AllowEntry>,
+    /// All `[[entry]]` graph entry points in file order.
+    pub graph_entries: Vec<GraphSpec>,
+    /// All `[[source]]` taint sources in file order.
+    pub graph_sources: Vec<GraphSpec>,
 }
 
 /// A parse failure with its line number.
@@ -55,11 +89,19 @@ impl std::fmt::Display for AllowlistError {
     }
 }
 
+/// Which table a parsed block belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableKind {
+    Allow,
+    Entry,
+    Source,
+}
+
 impl Allowlist {
     /// Parses the allowlist text.
     pub fn parse(text: &str) -> Result<Self, AllowlistError> {
-        let mut entries: Vec<AllowEntry> = Vec::new();
-        let mut current: Option<(usize, PartialEntry)> = None;
+        let mut list = Allowlist::default();
+        let mut current: Option<(usize, TableKind, PartialEntry)> = None;
 
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -67,11 +109,17 @@ impl Allowlist {
             if line.is_empty() {
                 continue;
             }
-            if line == "[[allow]]" {
-                if let Some((at, partial)) = current.take() {
-                    entries.push(partial.finish(at)?);
+            let header = match line {
+                "[[allow]]" => Some(TableKind::Allow),
+                "[[entry]]" => Some(TableKind::Entry),
+                "[[source]]" => Some(TableKind::Source),
+                _ => None,
+            };
+            if let Some(kind) = header {
+                if let Some((at, k, partial)) = current.take() {
+                    list.push_finished(at, k, partial)?;
                 }
-                current = Some((line_no, PartialEntry::default()));
+                current = Some((line_no, kind, PartialEntry::default()));
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -80,18 +128,43 @@ impl Allowlist {
                     message: format!("expected `key = value`, got `{line}`"),
                 });
             };
-            let Some((_, partial)) = current.as_mut() else {
+            let Some((_, kind, partial)) = current.as_mut() else {
                 return Err(AllowlistError {
                     line: line_no,
-                    message: "key outside any [[allow]] table".into(),
+                    message: "key outside any [[allow]]/[[entry]]/[[source]] table".into(),
                 });
             };
-            partial.set(key.trim(), value.trim(), line_no)?;
+            partial.set(*kind, key.trim(), value.trim(), line_no)?;
         }
-        if let Some((at, partial)) = current.take() {
-            entries.push(partial.finish(at)?);
+        if let Some((at, kind, partial)) = current.take() {
+            list.push_finished(at, kind, partial)?;
         }
-        Ok(Self { entries })
+        Ok(list)
+    }
+
+    fn push_finished(
+        &mut self,
+        at: usize,
+        kind: TableKind,
+        partial: PartialEntry,
+    ) -> Result<(), AllowlistError> {
+        match kind {
+            TableKind::Allow => self.entries.push(partial.finish_allow(at)?),
+            TableKind::Entry => self
+                .graph_entries
+                .push(partial.finish_spec(at, &["L9", "L11"])?),
+            TableKind::Source => self.graph_sources.push(partial.finish_spec(at, &["L11"])?),
+        }
+        Ok(())
+    }
+
+    /// The `[[entry]]`/`[[source]]` patterns declared for one rule id.
+    pub fn specs_for<'a>(specs: &'a [GraphSpec], rule: &str) -> Vec<&'a str> {
+        specs
+            .iter()
+            .filter(|s| s.rule == rule)
+            .map(|s| s.pattern.as_str())
+            .collect()
     }
 
     /// Indices of entries matching `v` in `path` (forward-slash normalised).
@@ -130,10 +203,17 @@ struct PartialEntry {
     pattern: Option<String>,
     line: Option<usize>,
     reason: Option<String>,
+    note: Option<String>,
 }
 
 impl PartialEntry {
-    fn set(&mut self, key: &str, value: &str, line_no: usize) -> Result<(), AllowlistError> {
+    fn set(
+        &mut self,
+        kind: TableKind,
+        key: &str,
+        value: &str,
+        line_no: usize,
+    ) -> Result<(), AllowlistError> {
         let err = |message: String| AllowlistError {
             line: line_no,
             message,
@@ -146,7 +226,7 @@ impl PartialEntry {
                 }
                 self.rule = Some(v);
             }
-            "path" => {
+            "path" if kind == TableKind::Allow => {
                 self.path =
                     Some(unquote(value).ok_or_else(|| err("path must be a string".into()))?);
             }
@@ -154,26 +234,30 @@ impl PartialEntry {
                 self.pattern =
                     Some(unquote(value).ok_or_else(|| err("pattern must be a string".into()))?);
             }
-            "reason" => {
+            "reason" if kind == TableKind::Allow => {
                 let v = unquote(value).ok_or_else(|| err("reason must be a string".into()))?;
                 if v.trim().is_empty() {
                     return Err(err("reason must not be empty".into()));
                 }
                 self.reason = Some(v);
             }
-            "line" => {
+            "line" if kind == TableKind::Allow => {
                 self.line = Some(
                     value
                         .parse::<usize>()
                         .map_err(|e| err(format!("line must be an integer: {e}")))?,
                 );
             }
-            other => return Err(err(format!("unknown key `{other}`"))),
+            "note" if kind != TableKind::Allow => {
+                self.note =
+                    Some(unquote(value).ok_or_else(|| err("note must be a string".into()))?);
+            }
+            other => return Err(err(format!("unknown key `{other}` for this table"))),
         }
         Ok(())
     }
 
-    fn finish(self, table_line: usize) -> Result<AllowEntry, AllowlistError> {
+    fn finish_allow(self, table_line: usize) -> Result<AllowEntry, AllowlistError> {
         let err = |message: &str| AllowlistError {
             line: table_line,
             message: message.into(),
@@ -186,6 +270,76 @@ impl PartialEntry {
             reason: self.reason.ok_or_else(|| err("missing `reason`"))?,
         })
     }
+
+    fn finish_spec(self, table_line: usize, rules: &[&str]) -> Result<GraphSpec, AllowlistError> {
+        let err = |message: String| AllowlistError {
+            line: table_line,
+            message,
+        };
+        let rule = self.rule.ok_or_else(|| err("missing `rule`".into()))?;
+        if !rules.contains(&rule.as_str()) {
+            return Err(err(format!(
+                "rule `{rule}` not valid here (expected one of {rules:?})"
+            )));
+        }
+        let pattern = self
+            .pattern
+            .ok_or_else(|| err("missing `pattern`".into()))?;
+        if pattern.trim().is_empty() {
+            return Err(err("pattern must not be empty".into()));
+        }
+        Ok(GraphSpec {
+            rule,
+            pattern,
+            note: self.note,
+        })
+    }
+}
+
+/// For a stale allowlist `path`, the scanned path it most plausibly meant:
+/// the candidate minimizing edit distance over same-length path suffixes,
+/// accepted only when the distance is small relative to the entry's length
+/// (a moved or renamed file, not a different one).
+pub fn suggest_path<'a>(stale: &str, scanned: &'a [String]) -> Option<&'a str> {
+    let stale_parts: Vec<&str> = stale.split('/').collect();
+    let mut best: Option<(usize, &str)> = None;
+    for cand in scanned {
+        let cand_parts: Vec<&str> = cand.split('/').collect();
+        let k = stale_parts.len().min(cand_parts.len());
+        let stale_suffix = stale_parts[stale_parts.len() - k..].join("/");
+        let cand_suffix = cand_parts[cand_parts.len() - k..].join("/");
+        let d = edit_distance(&stale_suffix, &cand_suffix);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, cand.as_str()));
+        }
+    }
+    let (d, cand) = best?;
+    // Accept only near-misses: more than a third of the name changed is a
+    // different file, not a typo or a move.
+    if d * 3 <= stale.len() {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Levenshtein distance, two-row DP, byte-wise (paths are ASCII).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.is_empty() {
+        return b.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 fn unquote(value: &str) -> Option<String> {
@@ -236,7 +390,7 @@ reason = "doc inherited from trait"
 
     #[test]
     fn rejects_malformed_entries() {
-        assert!(Allowlist::parse("[[allow]]\nrule = \"L9\"\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\nrule = \"L12\"\n").is_err());
         assert!(
             Allowlist::parse("[[allow]]\nrule = \"L1\"\n").is_err(),
             "missing path/reason"
@@ -265,5 +419,86 @@ reason = "doc inherited from trait"
         assert!(list
             .matches("crates/c/src/a.rs", &violation(Rule::L1, 5, "clean line"))
             .is_empty());
+    }
+
+    #[test]
+    fn parses_entry_and_source_tables() {
+        let text = r#"
+[[entry]]
+rule = "L9"
+pattern = "SessionState::"
+note = "public session API"
+
+[[entry]]
+rule = "L11"
+pattern = "replay_history"
+
+[[source]]
+rule = "L11"
+pattern = "Instant::now"
+"#;
+        let list = Allowlist::parse(text).expect("parses");
+        assert!(list.entries.is_empty());
+        assert_eq!(list.graph_entries.len(), 2);
+        assert_eq!(list.graph_sources.len(), 1);
+        assert_eq!(
+            Allowlist::specs_for(&list.graph_entries, "L9"),
+            ["SessionState::"]
+        );
+        assert_eq!(
+            Allowlist::specs_for(&list.graph_entries, "L11"),
+            ["replay_history"]
+        );
+        assert_eq!(
+            list.graph_entries[0].note.as_deref(),
+            Some("public session API")
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        // Entries take only L9/L11; sources only L11.
+        assert!(Allowlist::parse("[[entry]]\nrule = \"L1\"\npattern = \"x\"\n").is_err());
+        assert!(Allowlist::parse("[[source]]\nrule = \"L9\"\npattern = \"x\"\n").is_err());
+        // pattern is mandatory and non-empty.
+        assert!(Allowlist::parse("[[entry]]\nrule = \"L9\"\n").is_err());
+        assert!(Allowlist::parse("[[entry]]\nrule = \"L9\"\npattern = \"\"\n").is_err());
+        // Allow-only keys are rejected in spec tables and vice versa.
+        assert!(
+            Allowlist::parse("[[entry]]\nrule = \"L9\"\npattern = \"x\"\nreason = \"y\"\n")
+                .is_err()
+        );
+        assert!(Allowlist::parse(
+            "[[allow]]\nrule = \"L1\"\npath = \"x\"\nreason = \"y\"\nnote = \"z\"\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn suggest_path_finds_moved_files_and_rejects_strangers() {
+        let scanned = vec![
+            "crates/et-core/src/session.rs".to_string(),
+            "crates/et-serve/src/server.rs".to_string(),
+            "crates/et-fd/src/cache.rs".to_string(),
+        ];
+        // A renamed file is a near-miss.
+        assert_eq!(
+            suggest_path("crates/et-core/src/sessions.rs", &scanned),
+            Some("crates/et-core/src/session.rs")
+        );
+        // A crate move keeps the stem close enough.
+        assert_eq!(
+            suggest_path("crates/et-server/src/server.rs", &scanned),
+            Some("crates/et-serve/src/server.rs")
+        );
+        // A completely different path yields no suggestion.
+        assert_eq!(suggest_path("docs/zzz_qqq_www.md", &scanned), None);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
     }
 }

@@ -1,0 +1,701 @@
+//! The interprocedural rules L9–L11, powered by [`crate::callgraph`].
+//!
+//! All three analyses are deterministic: entries, reachability frontiers,
+//! lock classes, and cycle scans all iterate `BTreeMap`/`BTreeSet`s or
+//! id-ordered vectors, so two runs over the same tree produce identical
+//! findings in identical order.
+//!
+//! Configuration comes from `et-lint.toml` (see [`crate::allowlist`]):
+//! `[[entry]]` tables select entry-point functions by qualified-name
+//! substring, `[[source]]` tables declare L11 taint sources. With no
+//! configuration the rules are vacuous — the graph is still built (and its
+//! unresolved bucket still reported), but nothing can fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::allowlist::Allowlist;
+use crate::callgraph::CallGraph;
+use crate::parser::Callee;
+use crate::rules::{Rule, Violation};
+
+/// A graph-rule finding: a violation plus its witness call chain.
+#[derive(Debug)]
+pub struct GraphFinding {
+    /// Repo-relative path of the offending function's file.
+    pub path: String,
+    /// The violation (rule, line, message, excerpt).
+    pub violation: Violation,
+    /// Witness chain, entry first, one `qual (file:line)` hop per element.
+    pub witness: Vec<String>,
+}
+
+/// Runs L9, L10, and L11 over the linked graph.
+pub fn check(graph: &CallGraph, config: &Allowlist) -> Vec<GraphFinding> {
+    let mut out = Vec::new();
+    l9_panic_reachability(graph, config, &mut out);
+    l10_lock_order(graph, &mut out);
+    l11_determinism_taint(graph, config, &mut out);
+    out
+}
+
+/// L9: panic-capable operations reachable from public API entry points.
+fn l9_panic_reachability(graph: &CallGraph, config: &Allowlist, out: &mut Vec<GraphFinding>) {
+    let patterns = Allowlist::specs_for(&config.graph_entries, "L9");
+    if patterns.is_empty() {
+        return;
+    }
+    let mut entries = Vec::new();
+    for p in &patterns {
+        entries.extend(graph.match_entries(p, true));
+    }
+    let parents = graph.reach(&entries);
+    for &id in parents.keys() {
+        let node = &graph.nodes[id];
+        // The assert family is out of L9's scope: asserts are deliberate,
+        // documented invariant checks (L4 enforces the documentation).
+        // L9 hunts the *accidental* panics: panic!/unreachable!/todo!,
+        // unwrap/expect, and unguarded indexing.
+        let Some(op) = node
+            .item
+            .panics
+            .iter()
+            .find(|p| !p.what.starts_with("assert"))
+        else {
+            continue;
+        };
+        let extras = node
+            .item
+            .panics
+            .iter()
+            .filter(|p| !p.what.starts_with("assert"))
+            .count()
+            - 1;
+        let witness = graph.witness(&parents, id);
+        let entry_desc = witness.first().cloned().unwrap_or_else(|| node.qual());
+        let extra = if extras > 0 {
+            format!(" (+{extras} more panic-capable op(s) in this fn)")
+        } else {
+            String::new()
+        };
+        out.push(GraphFinding {
+            path: node.file.clone(),
+            violation: Violation {
+                rule: Rule::L9,
+                line: op.line,
+                message: format!(
+                    "`{}` is reachable from public entry {} and contains {} on `{}`{}",
+                    node.qual(),
+                    entry_desc,
+                    op.kind.label(),
+                    op.what,
+                    extra
+                ),
+                excerpt: op.line_text.clone(),
+            },
+            witness,
+        });
+    }
+}
+
+/// One lock acquisition inside a function, attributed to a lock class.
+#[derive(Debug, Clone)]
+struct Acq {
+    /// Lock class, e.g. `SessionStore.shards` or `et_serve::rx`.
+    class: String,
+    /// Token index of the acquiring call.
+    tok: usize,
+    /// Token index one past the guard's live region.
+    guard_end: usize,
+    /// 1-based line of the acquisition.
+    line: usize,
+    /// Trimmed source line.
+    line_text: String,
+}
+
+/// One edge of the lock-order relation, with its witness site.
+#[derive(Debug, Clone)]
+struct OrderWitness {
+    text: String,
+    file: String,
+    line: usize,
+    line_text: String,
+}
+
+/// L10: cycles in the workspace lock-acquisition order graph.
+fn l10_lock_order(graph: &CallGraph, out: &mut Vec<GraphFinding>) {
+    // Pass 1: gateway fixpoint. A gateway acquires a lock passed in by its
+    // caller (`fn lock<T>(m: &Mutex<T>)`), directly or through another
+    // gateway, so its acquisitions are attributed at the call site.
+    let n = graph.nodes.len();
+    let mut gateway = vec![false; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..n {
+            if gateway[id] {
+                continue;
+            }
+            let node = &graph.nodes[id];
+            let is_gw = node.item.calls.iter().enumerate().any(|(ci, c)| {
+                let param_hint = |h: &Option<String>| {
+                    h.as_ref()
+                        .is_some_and(|h| node.item.params.iter().any(|p| p == h))
+                };
+                match &c.callee {
+                    Callee::Method { name, recv } if name == "lock" => param_hint(&recv.hint),
+                    _ => {
+                        param_hint(&c.arg_hint)
+                            && graph.edges[id]
+                                .iter()
+                                .any(|e| e.call_idx == ci && gateway[e.callee])
+                    }
+                }
+            });
+            if is_gw {
+                gateway[id] = true;
+                changed = true;
+            }
+        }
+    }
+
+    // Pass 2: per-node direct acquisitions with resolved lock classes.
+    let mut acqs: Vec<Vec<Acq>> = vec![Vec::new(); n];
+    for (id, node) in graph.nodes.iter().enumerate() {
+        if node.item.is_test {
+            continue;
+        }
+        for (ci, c) in node.item.calls.iter().enumerate() {
+            let classify = |hint: &Option<String>, on_self: bool| -> Option<String> {
+                let h = hint.as_ref()?;
+                if node.item.params.iter().any(|p| p == h) {
+                    return None; // parametric: attributed at *our* call sites
+                }
+                match (&node.item.self_type, on_self) {
+                    (Some(t), true) => Some(format!("{t}.{h}")),
+                    _ => Some(format!("{}::{h}", node.krate)),
+                }
+            };
+            let class = match &c.callee {
+                Callee::Method { name, recv } if name == "lock" => {
+                    classify(&recv.hint, recv.is_self)
+                }
+                _ => {
+                    let hits_gateway = graph.edges[id]
+                        .iter()
+                        .any(|e| e.call_idx == ci && gateway[e.callee]);
+                    if hits_gateway {
+                        classify(&c.arg_hint, c.arg_is_self)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(class) = class {
+                acqs[id].push(Acq {
+                    class,
+                    tok: c.tok,
+                    guard_end: c.guard_end_tok,
+                    line: c.line,
+                    line_text: c.line_text.clone(),
+                });
+            }
+        }
+    }
+
+    // Pass 3: transitive lock closure per node (classes a call into this
+    // fn may acquire), by fixpoint over resolved edges.
+    let mut closure: Vec<BTreeSet<String>> = acqs
+        .iter()
+        .map(|a| a.iter().map(|x| x.class.clone()).collect())
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for id in 0..n {
+            let mut add: Vec<String> = Vec::new();
+            for e in &graph.edges[id] {
+                for c in &closure[e.callee] {
+                    if !closure[id].contains(c) {
+                        add.push(c.clone());
+                    }
+                }
+            }
+            for c in add {
+                if closure[id].insert(c) {
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Pass 4: the order relation. While class A's guard is live, any
+    // direct acquisition of B or any call whose closure contains B adds
+    // the edge A → B. First witness per (A, B) wins (id order, so
+    // deterministic).
+    let mut order: BTreeMap<String, BTreeMap<String, OrderWitness>> = BTreeMap::new();
+    for (id, node) in graph.nodes.iter().enumerate() {
+        for a in &acqs[id] {
+            let mut record = |b_class: &str, w: OrderWitness| {
+                if b_class == a.class {
+                    return;
+                }
+                order
+                    .entry(a.class.clone())
+                    .or_default()
+                    .entry(b_class.to_string())
+                    .or_insert(w);
+            };
+            for b in &acqs[id] {
+                if b.tok > a.tok && b.tok < a.guard_end {
+                    record(
+                        &b.class,
+                        OrderWitness {
+                            text: format!("{} then {} in `{}`", a.class, b.class, node.qual()),
+                            file: node.file.clone(),
+                            line: b.line,
+                            line_text: b.line_text.clone(),
+                        },
+                    );
+                }
+            }
+            for (ci, c) in node.item.calls.iter().enumerate() {
+                if c.tok <= a.tok || c.tok >= a.guard_end {
+                    continue;
+                }
+                for e in &graph.edges[id] {
+                    if e.call_idx != ci {
+                        continue;
+                    }
+                    for b_class in &closure[e.callee] {
+                        record(
+                            b_class,
+                            OrderWitness {
+                                text: format!(
+                                    "{} held across `{}` which acquires {} in `{}`",
+                                    a.class,
+                                    graph.nodes[e.callee].qual(),
+                                    b_class,
+                                    node.qual()
+                                ),
+                                file: node.file.clone(),
+                                line: c.line,
+                                line_text: c.line_text.clone(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 5: cycle detection (DFS, deterministic order), one finding per
+    // distinct cycle class-set.
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in order.keys() {
+        let mut stack = vec![start.clone()];
+        let mut on_stack: BTreeSet<String> = [start.clone()].into();
+        dfs_cycles(&order, &mut stack, &mut on_stack, &mut reported, out);
+    }
+}
+
+/// DFS from the last element of `stack`, emitting a finding per new cycle.
+fn dfs_cycles(
+    order: &BTreeMap<String, BTreeMap<String, OrderWitness>>,
+    stack: &mut Vec<String>,
+    on_stack: &mut BTreeSet<String>,
+    reported: &mut BTreeSet<Vec<String>>,
+    out: &mut Vec<GraphFinding>,
+) {
+    let Some(cur) = stack.last().cloned() else {
+        return;
+    };
+    let Some(nexts) = order.get(&cur) else {
+        return;
+    };
+    for nxt in nexts.keys() {
+        if on_stack.contains(nxt) {
+            // Cycle: the stack suffix from `nxt` back to `cur`.
+            let Some(pos) = stack.iter().position(|c| c == nxt) else {
+                continue;
+            };
+            let cycle: Vec<String> = stack[pos..].to_vec();
+            let mut key = cycle.clone();
+            key.sort();
+            if !reported.insert(key) {
+                continue;
+            }
+            // Render each edge of the cycle with its witness.
+            let mut witness = Vec::new();
+            let mut first_site: Option<&OrderWitness> = None;
+            for i in 0..cycle.len() {
+                let from = &cycle[i];
+                let to = &cycle[(i + 1) % cycle.len()];
+                if let Some(w) = order.get(from).and_then(|m| m.get(to)) {
+                    witness.push(format!("{} ({}:{})", w.text, w.file, w.line));
+                    if first_site.is_none() {
+                        first_site = Some(w);
+                    }
+                }
+            }
+            let Some(site) = first_site else {
+                continue;
+            };
+            let ring = {
+                let mut r = cycle.clone();
+                r.push(cycle[0].clone());
+                r.join(" -> ")
+            };
+            out.push(GraphFinding {
+                path: site.file.clone(),
+                violation: Violation {
+                    rule: Rule::L10,
+                    line: site.line,
+                    message: format!("lock-order cycle: {ring}"),
+                    excerpt: site.line_text.clone(),
+                },
+                witness,
+            });
+            continue;
+        }
+        if stack.len() > order.len() {
+            continue; // depth bound; cannot happen with on_stack, belt and braces
+        }
+        stack.push(nxt.clone());
+        on_stack.insert(nxt.clone());
+        dfs_cycles(order, stack, on_stack, reported, out);
+        stack.pop();
+        on_stack.remove(nxt);
+    }
+}
+
+/// L11: nondeterminism sources reachable from session entry points.
+fn l11_determinism_taint(graph: &CallGraph, config: &Allowlist, out: &mut Vec<GraphFinding>) {
+    let entry_patterns = Allowlist::specs_for(&config.graph_entries, "L11");
+    if entry_patterns.is_empty() {
+        return;
+    }
+    let source_patterns = Allowlist::specs_for(&config.graph_sources, "L11");
+    let hash_iter = source_patterns.contains(&"hash-iter");
+    let call_patterns: Vec<&str> = source_patterns
+        .iter()
+        .copied()
+        .filter(|p| *p != "hash-iter")
+        .collect();
+
+    let mut entries = Vec::new();
+    for p in &entry_patterns {
+        entries.extend(graph.match_entries(p, false));
+    }
+    let parents = graph.reach(&entries);
+    for &id in parents.keys() {
+        let node = &graph.nodes[id];
+        // Direct sources in this fn: matching rendered calls, then the
+        // hash-iter heuristic; first source (lowest line) is the anchor.
+        let mut sources: Vec<(usize, String, String)> = Vec::new();
+        for c in &node.item.calls {
+            let rendered = c.callee.render();
+            if call_patterns.iter().any(|p| rendered.contains(p)) {
+                sources.push((c.line, rendered, c.line_text.clone()));
+            }
+        }
+        if hash_iter {
+            if let Some(line) = node.item.hash_iter_line {
+                // No per-line excerpt is recorded for the heuristic; fall
+                // back to the function signature for context.
+                sources.push((
+                    line,
+                    "unsorted HashMap/HashSet iteration".to_string(),
+                    node.item.line_text.clone(),
+                ));
+            }
+        }
+        sources.sort_by_key(|s| s.0);
+        let Some((line, what, line_text)) = sources.first() else {
+            continue;
+        };
+        let witness = graph.witness(&parents, id);
+        let entry_desc = witness.first().cloned().unwrap_or_else(|| node.qual());
+        out.push(GraphFinding {
+            path: node.file.clone(),
+            violation: Violation {
+                rule: Rule::L11,
+                line: *line,
+                message: format!(
+                    "`{}` is reachable from session entry {} and touches \
+                     nondeterminism source `{}`",
+                    node.qual(),
+                    entry_desc,
+                    what
+                ),
+                excerpt: line_text.clone(),
+            },
+            witness,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, FileAst};
+
+    fn run(files: &[(&str, &str)], config: &str) -> Vec<GraphFinding> {
+        let parsed: Vec<(String, FileAst)> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), parse(src)))
+            .collect();
+        let graph = CallGraph::link(&parsed);
+        let allow = Allowlist::parse(config).expect("test config parses");
+        check(&graph, &allow)
+    }
+
+    fn rules_of(findings: &[GraphFinding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.violation.rule.id()).collect()
+    }
+
+    #[test]
+    fn no_config_means_no_findings() {
+        let findings = run(
+            &[(
+                "crates/a/src/api.rs",
+                "pub fn entry() { helper(); }\nfn helper() { v.pop().unwrap(); }\n",
+            )],
+            "",
+        );
+        assert!(findings.is_empty(), "vacuous without entries: {findings:?}");
+    }
+
+    #[test]
+    fn l9_fires_on_transitive_panic_with_witness() {
+        let findings = run(
+            &[(
+                "crates/a/src/api.rs",
+                r#"
+                pub fn entry() { middle(); }
+                fn middle() { deep(); }
+                fn deep() { let v: Vec<u32> = Vec::new(); v.first().unwrap(); }
+                fn unreached() { panic!("never"); }
+                "#,
+            )],
+            "[[entry]]\nrule = \"L9\"\npattern = \"api::entry\"\n",
+        );
+        let l9: Vec<&GraphFinding> = findings
+            .iter()
+            .filter(|f| f.violation.rule.id() == "L9")
+            .collect();
+        assert_eq!(
+            l9.len(),
+            1,
+            "exactly the reachable panic fires: {findings:?}"
+        );
+        let f = l9[0];
+        assert!(
+            f.violation.message.contains("api::deep"),
+            "{}",
+            f.violation.message
+        );
+        assert!(
+            f.violation.message.contains("unwrap"),
+            "{}",
+            f.violation.message
+        );
+        assert_eq!(
+            f.witness.len(),
+            3,
+            "entry -> middle -> deep: {:?}",
+            f.witness
+        );
+        assert!(f.witness[0].contains("api::entry"), "{:?}", f.witness);
+        assert!(f.witness[2].contains("api::deep"), "{:?}", f.witness);
+        assert!(
+            !findings
+                .iter()
+                .any(|f| f.violation.message.contains("unreached")),
+            "unreachable panic must not fire: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn l9_private_entry_patterns_match_nothing() {
+        let findings = run(
+            &[("crates/a/src/api.rs", "fn hidden() { x.unwrap(); }\n")],
+            "[[entry]]\nrule = \"L9\"\npattern = \"api::hidden\"\n",
+        );
+        assert!(findings.is_empty(), "L9 entries require pub: {findings:?}");
+    }
+
+    #[test]
+    fn l10_detects_two_lock_inversion_with_witness_cycle() {
+        let src = r#"
+            pub struct Store { a: u32, b: u32 }
+            impl Store {
+                pub fn ab(&self) {
+                    let ga = self.a.lock();
+                    let gb = self.b.lock();
+                }
+                pub fn ba(&self) {
+                    let gb = self.b.lock();
+                    let ga = self.a.lock();
+                }
+            }
+        "#;
+        let findings = run(&[("crates/a/src/store.rs", src)], "");
+        assert_eq!(rules_of(&findings), vec!["L10"], "{findings:?}");
+        let f = &findings[0];
+        assert!(
+            f.violation.message.contains("Store.a") && f.violation.message.contains("Store.b"),
+            "cycle names both classes: {}",
+            f.violation.message
+        );
+        assert_eq!(
+            f.witness.len(),
+            2,
+            "one witness per cycle edge: {:?}",
+            f.witness
+        );
+        assert!(
+            f.witness.iter().any(|w| w.contains("a::store::Store::ab")),
+            "{:?}",
+            f.witness
+        );
+        assert!(
+            f.witness.iter().any(|w| w.contains("a::store::Store::ba")),
+            "{:?}",
+            f.witness
+        );
+    }
+
+    #[test]
+    fn l10_consistent_order_is_clean() {
+        let src = r#"
+            pub struct Store { a: u32, b: u32 }
+            impl Store {
+                pub fn one(&self) {
+                    let ga = self.a.lock();
+                    let gb = self.b.lock();
+                }
+                pub fn two(&self) {
+                    let ga = self.a.lock();
+                    let gb = self.b.lock();
+                }
+            }
+        "#;
+        let findings = run(&[("crates/a/src/store.rs", src)], "");
+        assert!(
+            findings.is_empty(),
+            "same order everywhere is fine: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn l10_sees_through_gateway_helpers_and_callees() {
+        // `grab` is a gateway (locks its parameter); `take_b` acquires B
+        // behind a call. ab holds A while calling take_b; ba holds B then A.
+        let src = r#"
+            pub struct Store { a: u32, b: u32 }
+            pub fn grab(m: &Mutex<u32>) -> u32 { m.lock() }
+            impl Store {
+                fn take_b(&self) -> u32 { grab(&self.b) }
+                pub fn ab(&self) {
+                    let ga = grab(&self.a);
+                    let v = self.take_b();
+                }
+                pub fn ba(&self) {
+                    let gb = grab(&self.b);
+                    let ga = grab(&self.a);
+                }
+            }
+        "#;
+        let findings = run(&[("crates/a/src/store.rs", src)], "");
+        assert_eq!(rules_of(&findings), vec!["L10"], "{findings:?}");
+        let f = &findings[0];
+        assert!(
+            f.witness.iter().any(|w| w.contains("held across")),
+            "call-mediated edge carries a via-witness: {:?}",
+            f.witness
+        );
+    }
+
+    #[test]
+    fn l10_guard_dropped_before_second_lock_is_clean() {
+        let src = r#"
+            pub struct Store { a: u32, b: u32 }
+            impl Store {
+                pub fn ab(&self) {
+                    let ga = self.a.lock();
+                    drop(ga);
+                    let gb = self.b.lock();
+                }
+                pub fn ba(&self) {
+                    let gb = self.b.lock();
+                    drop(gb);
+                    let ga = self.a.lock();
+                }
+            }
+        "#;
+        let findings = run(&[("crates/a/src/store.rs", src)], "");
+        assert!(
+            findings.is_empty(),
+            "explicit drop ends the guard region: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn l11_fires_on_declared_source_with_chain() {
+        let src = r#"
+            use std::time::Instant;
+            pub fn step() { helper(); }
+            fn helper() { let t = Instant::now(); }
+        "#;
+        let config = "[[entry]]\nrule = \"L11\"\npattern = \"api::step\"\n\
+                      [[source]]\nrule = \"L11\"\npattern = \"Instant::now\"\n";
+        let findings = run(&[("crates/a/src/api.rs", src)], config);
+        assert_eq!(rules_of(&findings), vec!["L11"], "{findings:?}");
+        let f = &findings[0];
+        assert!(
+            f.violation.message.contains("api::helper"),
+            "{}",
+            f.violation.message
+        );
+        assert!(
+            f.violation.message.contains("Instant::now"),
+            "{}",
+            f.violation.message
+        );
+        assert_eq!(f.witness.len(), 2, "step -> helper: {:?}", f.witness);
+    }
+
+    #[test]
+    fn l11_hash_iter_source_uses_heuristic_line() {
+        let src = r#"
+            use std::collections::HashMap;
+            pub fn step(m: &HashMap<u32, u32>) {
+                for (k, v) in m.iter() { let _ = k + v; }
+            }
+        "#;
+        let config = "[[entry]]\nrule = \"L11\"\npattern = \"api::step\"\n\
+                      [[source]]\nrule = \"L11\"\npattern = \"hash-iter\"\n";
+        let findings = run(&[("crates/a/src/api.rs", src)], config);
+        assert_eq!(rules_of(&findings), vec!["L11"], "{findings:?}");
+        assert!(
+            findings[0]
+                .violation
+                .message
+                .contains("unsorted HashMap/HashSet iteration"),
+            "{}",
+            findings[0].violation.message
+        );
+    }
+
+    #[test]
+    fn l11_entries_may_be_private_and_clean_graph_reports_nothing() {
+        let src = r#"
+            fn replay() { pure(); }
+            fn pure() -> u32 { 7 }
+        "#;
+        let config = "[[entry]]\nrule = \"L11\"\npattern = \"api::replay\"\n\
+                      [[source]]\nrule = \"L11\"\npattern = \"Instant::now\"\n";
+        let findings = run(&[("crates/a/src/api.rs", src)], config);
+        assert!(findings.is_empty(), "no sources reached: {findings:?}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine-readable report output (`cargo lint -- --json`).
+//!
+//! Hand-rolled serialization: the workspace is std-only, the schema is
+//! small, and every value is either a count, a bool, or a string we escape
+//! ourselves. The schema is documented in DESIGN.md §12 and is versioned —
+//! consumers should reject a `version` they don't know.
+
+use std::path::Path;
+
+use crate::Report;
+
+/// Schema version emitted in every document.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Renders the report as a single JSON document; returns the exit code
+/// (same contract as [`crate::render`]: 0 clean, 1 findings or stale
+/// allowlist entries).
+pub fn render_json(report: &Report, allowlist_path: &Path, out: &mut impl std::io::Write) -> i32 {
+    let mut s = String::new();
+    s.push_str("{\n");
+    push_kv(&mut s, 1, "version", &SCHEMA_VERSION.to_string(), true);
+    push_kv(
+        &mut s,
+        1,
+        "files_scanned",
+        &report.files_scanned.to_string(),
+        true,
+    );
+    push_kv(
+        &mut s,
+        1,
+        "suppressed",
+        &report.suppressed.to_string(),
+        true,
+    );
+    push_kv(&mut s, 1, "graph_fns", &report.graph_fns.to_string(), true);
+    push_kv(
+        &mut s,
+        1,
+        "unresolved_calls",
+        &report.unresolved_calls.to_string(),
+        true,
+    );
+    s.push_str("  \"allowlist\": ");
+    s.push_str(&quote(&allowlist_path.display().to_string()));
+    s.push_str(",\n");
+
+    s.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str("    {");
+        s.push_str(&format!("\"rule\": {}, ", quote(f.violation.rule.id())));
+        s.push_str(&format!("\"path\": {}, ", quote(&f.path)));
+        s.push_str(&format!("\"line\": {}, ", f.violation.line));
+        s.push_str(&format!("\"message\": {}, ", quote(&f.violation.message)));
+        s.push_str(&format!("\"excerpt\": {}, ", quote(&f.violation.excerpt)));
+        s.push_str("\"witness\": [");
+        for (j, hop) in f.witness.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&quote(hop));
+        }
+        s.push_str("]}");
+    }
+    s.push_str(if report.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    s.push_str("  \"stale_allows\": [");
+    for (k, &i) in report.stale_allows.iter().enumerate() {
+        s.push_str(if k == 0 { "\n" } else { ",\n" });
+        s.push_str(&format!("    {{\"index\": {}, \"suggestion\": ", i + 1));
+        match report.stale_suggestions.get(k) {
+            Some(Some(sugg)) => s.push_str(&quote(sugg)),
+            _ => s.push_str("null"),
+        }
+        s.push('}');
+    }
+    s.push_str(if report.stale_allows.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    s.push_str(&format!("  \"clean\": {}\n", report.is_clean()));
+    s.push_str("}\n");
+    let _ = out.write_all(s.as_bytes());
+    if report.is_clean() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Appends `"key": value,\n` (value unquoted — numbers only).
+fn push_kv(s: &mut String, indent: usize, key: &str, value: &str, comma: bool) {
+    for _ in 0..indent {
+        s.push_str("  ");
+    }
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\": ");
+    s.push_str(value);
+    if comma {
+        s.push(',');
+    }
+    s.push('\n');
+}
+
+/// JSON string literal with the minimal escape set (RFC 8259 §7).
+fn quote(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if u32::from(c) < 0x20 => s.push_str(&format!("\\u{:04x}", u32::from(c))),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Rule, Violation};
+    use crate::Finding;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                path: "crates/a/src/x.rs".into(),
+                violation: Violation {
+                    rule: Rule::L9,
+                    line: 7,
+                    message: "panic \"reachable\"".into(),
+                    excerpt: "v.pop().unwrap()".into(),
+                },
+                witness: vec!["a::entry (crates/a/src/x.rs:1)".into()],
+            }],
+            suppressed: 2,
+            stale_allows: vec![3],
+            stale_suggestions: vec![Some("crates/a/src/moved.rs".into())],
+            files_scanned: 5,
+            graph_fns: 11,
+            unresolved_calls: 4,
+        }
+    }
+
+    #[test]
+    fn document_round_trips_the_report() {
+        let mut sink = Vec::new();
+        let code = render_json(&sample(), std::path::Path::new("et-lint.toml"), &mut sink);
+        assert_eq!(code, 1);
+        let doc = String::from_utf8(sink).expect("utf8");
+        for needle in [
+            "\"version\": 1,",
+            "\"files_scanned\": 5,",
+            "\"graph_fns\": 11,",
+            "\"unresolved_calls\": 4,",
+            "\"rule\": \"L9\"",
+            "\"line\": 7",
+            "\"message\": \"panic \\\"reachable\\\"\"",
+            "\"witness\": [\"a::entry (crates/a/src/x.rs:1)\"]",
+            "{\"index\": 4, \"suggestion\": \"crates/a/src/moved.rs\"}",
+            "\"clean\": false",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn clean_report_exits_zero_with_empty_arrays() {
+        let mut sink = Vec::new();
+        let code = render_json(
+            &Report::default(),
+            std::path::Path::new("et-lint.toml"),
+            &mut sink,
+        );
+        assert_eq!(code, 0);
+        let doc = String::from_utf8(sink).expect("utf8");
+        assert!(doc.contains("\"findings\": [],"), "{doc}");
+        assert!(doc.contains("\"stale_allows\": [],"), "{doc}");
+        assert!(doc.contains("\"clean\": true"), "{doc}");
+    }
+
+    #[test]
+    fn quote_escapes_controls_and_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+}

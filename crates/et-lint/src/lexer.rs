@@ -182,6 +182,17 @@ pub fn lex(source: &str) -> TokenStream<'_> {
     let mut line = 1usize;
     let mut depth = 0u32;
 
+    // A `#!…` shebang at byte 0 is one opaque line comment: a `'` or `"`
+    // inside the interpreter path must not open a char/string state, and
+    // its span must stay contiguous for the span-coverage invariant.
+    // `#![…]` is an inner attribute, not a shebang, and lexes normally.
+    if bytes.starts_with(b"#!") && bytes.get(2) != Some(&b'[') {
+        while i < bytes.len() && bytes[i] != b'\n' {
+            i += 1;
+        }
+        push(&mut tokens, TokenKind::LineComment, 0, i, 1, 0);
+    }
+
     while i < bytes.len() {
         let b = bytes[i];
         let next = bytes.get(i + 1).copied();
@@ -660,6 +671,59 @@ mod tests {
         assert_eq!(ts.tokens.len(), 1);
         assert_eq!(ts.tokens[0].kind, TokenKind::Ident);
         assert_eq!(ts.text(0), "r#type");
+    }
+
+    #[test]
+    fn shebang_is_one_line_comment() {
+        // The apostrophe and quote in the shebang must not open char/string
+        // states; the code after it must lex normally with correct lines.
+        let src = "#!/usr/bin/env weird's \"driver\"\nfn main() { x.unwrap(); }\n";
+        let ts = lex(src);
+        assert_eq!(ts.tokens[0].kind, TokenKind::LineComment);
+        assert_eq!(ts.text(0), "#!/usr/bin/env weird's \"driver\"");
+        assert_eq!(ts.tokens[0].line, 1);
+        let f = (0..ts.tokens.len())
+            .find(|&i| ts.text(i) == "fn")
+            .expect("fn");
+        assert_eq!(ts.tokens[f].line, 2);
+        let unwraps = (0..ts.tokens.len())
+            .filter(|&i| ts.text(i) == "unwrap")
+            .count();
+        assert_eq!(unwraps, 1);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        // `#![…]` at byte 0 lexes as `#`, `!`, `[`, …: four code tokens at
+        // minimum, with contiguous in-order spans (pinned for the parser,
+        // which skips inner attributes token-wise).
+        let src = "#![allow(dead_code)]\nfn f() {}\n";
+        let ts = lex(src);
+        let texts: Vec<&str> = (0..6).map(|i| ts.text(i)).collect();
+        assert_eq!(texts, ["#", "!", "[", "allow", "(", "dead_code"]);
+        for w in ts.tokens.windows(2) {
+            assert!(w[0].end <= w[1].start, "spans must not overlap");
+        }
+    }
+
+    #[test]
+    fn shebang_then_inner_attribute_spans_cover_source() {
+        let src = "#!/usr/bin/env cargo\n#![deny(missing_docs)]\nfn f() {}\n";
+        let ts = lex(src);
+        assert_eq!(ts.tokens[0].kind, TokenKind::LineComment);
+        // Every non-whitespace byte is covered by exactly one token span.
+        let mut covered = vec![false; src.len()];
+        for t in &ts.tokens {
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                assert!(!*c, "overlapping spans");
+                *c = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            if !b.is_ascii_whitespace() {
+                assert!(covered[i], "byte {i} ({:?}) uncovered", b as char);
+            }
+        }
     }
 
     #[test]

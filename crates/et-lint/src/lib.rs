@@ -4,25 +4,32 @@
 //! Proposition 1, g1 violation measures, Beta-belief updates — are floating-
 //! point and RNG-sensitive: a silent NaN, an unseeded RNG, or a stray
 //! `unwrap()` corrupts a figure rather than crashing a test. This crate
-//! walks every workspace `.rs` source with a line/token scanner and enforces
-//! four rules the compiler cannot express:
+//! walks every workspace `.rs` source and enforces eleven rules the
+//! compiler cannot express, in three tiers:
 //!
-//! - **L1** — no `unwrap()`/`expect()`/`panic!` in non-`#[cfg(test)]`
-//!   library code.
-//! - **L2** — no unseeded RNG (`thread_rng`, `from_entropy`, `rand::random`)
-//!   anywhere, tests included.
-//! - **L3** — no direct `==`/`!=` against f64 expressions outside tests.
-//! - **L4** — every `pub fn` that can panic (assert family, `panic!`) must
-//!   carry a `# Panics` doc section.
+//! - **L1–L4** (line/mask scans, [`rules`]) — no `unwrap()`/`expect()`/
+//!   `panic!` in library code; no unseeded RNG anywhere; no f64 `==`/`!=`
+//!   outside tests; `# Panics` docs on panicking `pub fn`s.
+//! - **L5–L8** (token scans, [`conc_rules`]) — no guard held across a
+//!   blocking call; atomic `Ordering`s justified; no truncating `as`
+//!   casts; no `HashMap`/`HashSet` iteration-order leaks.
+//! - **L9–L11** (interprocedural, [`graph_rules`]) — over the workspace
+//!   call graph ([`parser`] + [`callgraph`]): no panic-capable op
+//!   reachable from public entry points, no lock-order cycles, no
+//!   nondeterminism source reachable from session entry points.
 //!
-//! Vetted exceptions live in `et-lint.toml` at the repo root (see
-//! [`allowlist`]). Exit codes: 0 clean, 1 violations, 2 configuration/IO
-//! error.
+//! Vetted exceptions and graph entry/source declarations live in
+//! `et-lint.toml` at the repo root (see [`allowlist`]). Exit codes:
+//! 0 clean, 1 violations, 2 configuration/IO error.
 
 pub mod allowlist;
+pub mod callgraph;
 pub mod conc_rules;
+pub mod graph_rules;
+pub mod json_out;
 pub mod lexer;
 pub mod mask;
+pub mod parser;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -37,6 +44,9 @@ pub struct Finding {
     pub path: String,
     /// The underlying rule violation.
     pub violation: Violation,
+    /// For graph rules (L9–L11): the witness call chain, entry first.
+    /// Empty for the per-file rules L1–L8.
+    pub witness: Vec<String>,
 }
 
 /// Outcome of a full workspace run.
@@ -48,8 +58,16 @@ pub struct Report {
     pub suppressed: usize,
     /// Indices of allowlist entries that never matched anything.
     pub stale_allows: Vec<usize>,
+    /// For each stale entry (parallel to `stale_allows`): the closest
+    /// scanned path by edit distance, when one is plausible — the file
+    /// probably moved there.
+    pub stale_suggestions: Vec<Option<String>>,
     /// Files scanned.
     pub files_scanned: usize,
+    /// Functions in the workspace call graph (library files only).
+    pub graph_fns: usize,
+    /// Call sites the graph declined to resolve (see `callgraph`).
+    pub unresolved_calls: usize,
 }
 
 impl Report {
@@ -133,25 +151,47 @@ pub fn run(root: &Path) -> Result<Report, EngineError> {
         }
     }
 
+    // Per-file stage (read, mask, L1–L8, parse) is embarrassingly parallel;
+    // results land in disjoint slots and merge in file order, so the output
+    // is identical to a serial run — including which IO error wins.
+    let mut slots: Vec<Result<Scanned, EngineError>> = Vec::new();
+    slots.resize_with(files.len(), || {
+        // Placeholder; every slot is overwritten by exactly one worker.
+        Err(EngineError::Io {
+            path: PathBuf::new(),
+            source: std::io::Error::other("file slot never scanned"),
+        })
+    });
+    let workers = worker_count(files.len());
+    if workers <= 1 {
+        for ((path, kind), slot) in files.iter().zip(slots.iter_mut()) {
+            *slot = scan_one(root, path, *kind);
+        }
+    } else {
+        let chunk = files.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            for (fc, sc) in files.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    for ((path, kind), slot) in fc.iter().zip(sc.iter_mut()) {
+                        *slot = scan_one(root, path, *kind);
+                    }
+                });
+            }
+        });
+    }
+
     let mut report = Report::default();
     let mut used = vec![false; allowlist.entries.len()];
-    for (path, kind) in files {
-        let text = std::fs::read_to_string(&path).map_err(|e| EngineError::Io {
-            path: path.clone(),
-            source: e,
-        })?;
-        report.files_scanned += 1;
-        let rel = rel_path(root, &path);
-        let masked = mask::mask(&text);
-        // Binaries under src/bin drive I/O and may report errors however
-        // they like, but they share the library's numeric discipline.
-        let effective_kind = kind;
-        for violation in rules::check_file(&masked, &text, effective_kind) {
-            let matched = allowlist.matches(&rel, &violation);
+    let mut parsed: Vec<(String, parser::FileAst)> = Vec::new();
+    let mut scanned_rels: Vec<String> = Vec::new();
+    let mut record =
+        |report: &mut Report, rel: &str, violation: Violation, witness: Vec<String>| {
+            let matched = allowlist.matches(rel, &violation);
             if matched.is_empty() {
                 report.findings.push(Finding {
-                    path: rel.clone(),
+                    path: rel.to_string(),
                     violation,
+                    witness,
                 });
             } else {
                 for m in matched {
@@ -159,15 +199,87 @@ pub fn run(root: &Path) -> Result<Report, EngineError> {
                 }
                 report.suppressed += 1;
             }
+        };
+    for slot in slots {
+        let scanned = slot?;
+        report.files_scanned += 1;
+        for violation in scanned.violations {
+            record(&mut report, &scanned.rel, violation, Vec::new());
         }
+        if let Some(ast) = scanned.ast {
+            parsed.push((scanned.rel.clone(), ast));
+        }
+        scanned_rels.push(scanned.rel);
     }
+
+    // Interprocedural stage: link the workspace call graph from library
+    // files and run L9–L11 over it.
+    let graph = callgraph::CallGraph::link(&parsed);
+    report.graph_fns = graph.nodes.len();
+    report.unresolved_calls = graph.unresolved_count;
+    for gf in graph_rules::check(&graph, &allowlist) {
+        record(&mut report, &gf.path, gf.violation, gf.witness);
+    }
+
     report.stale_allows = used
         .iter()
         .enumerate()
         .filter(|&(_, u)| !u)
         .map(|(i, _)| i)
         .collect();
+    report.stale_suggestions = report
+        .stale_allows
+        .iter()
+        .map(|&i| {
+            allowlist::suggest_path(&allowlist.entries[i].path, &scanned_rels).map(str::to_string)
+        })
+        .collect();
     Ok(report)
+}
+
+/// Output of the per-file stage for one source file.
+struct Scanned {
+    /// Repo-relative path.
+    rel: String,
+    /// L1–L8 violations.
+    violations: Vec<Violation>,
+    /// Parsed items, library files only (test-like trees stay out of the
+    /// call graph).
+    ast: Option<parser::FileAst>,
+}
+
+/// Reads and checks one file. Runs on a worker thread.
+fn scan_one(root: &Path, path: &Path, kind: FileKind) -> Result<Scanned, EngineError> {
+    let text = std::fs::read_to_string(path).map_err(|e| EngineError::Io {
+        path: path.to_path_buf(),
+        source: e,
+    })?;
+    let rel = rel_path(root, path);
+    let masked = mask::mask(&text);
+    let violations = rules::check_file(&masked, &text, kind);
+    let ast = (kind == FileKind::Library).then(|| parser::parse(&text));
+    Ok(Scanned {
+        rel,
+        violations,
+        ast,
+    })
+}
+
+/// Worker-thread count: `ET_LINT_THREADS` when set, else the machine's
+/// parallelism. Small trees (≤ 8 files) stay serial — thread spin-up costs
+/// more than it saves, and every unit-test tree stays on one stack.
+fn worker_count(files: usize) -> usize {
+    if files <= 8 {
+        return 1;
+    }
+    let configured = std::env::var("ET_LINT_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    let n = configured.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
+    n.min(files)
 }
 
 /// Renders the report for terminal consumption; returns the exit code.
@@ -182,22 +294,32 @@ pub fn render(report: &Report, allowlist_path: &Path, out: &mut impl std::io::Wr
             f.violation.message,
             f.violation.excerpt
         );
+        for (i, hop) in f.witness.iter().enumerate() {
+            let _ = writeln!(out, "    {}{hop}", if i == 0 { "via " } else { "  → " });
+        }
     }
-    for &i in &report.stale_allows {
+    for (k, &i) in report.stale_allows.iter().enumerate() {
+        let hint = match report.stale_suggestions.get(k) {
+            Some(Some(s)) => format!("; did you mean '{s}'?"),
+            _ => String::new(),
+        };
         let _ = writeln!(
             out,
-            "{}: [stale-allow] entry #{} never matched any violation; remove it",
+            "{}: [stale-allow] entry #{} never matched any violation; remove it{hint}",
             allowlist_path.display(),
             i + 1
         );
     }
     let _ = writeln!(
         out,
-        "et-lint: {} file(s) scanned, {} violation(s), {} suppressed, {} stale allow(s)",
+        "et-lint: {} file(s) scanned, {} violation(s), {} suppressed, {} stale allow(s), \
+         {} graph fn(s), {} unresolved call(s)",
         report.files_scanned,
         report.findings.len(),
         report.suppressed,
-        report.stale_allows.len()
+        report.stale_allows.len(),
+        report.graph_fns,
+        report.unresolved_calls
     );
     if report.is_clean() {
         0
@@ -370,6 +492,7 @@ mod tests {
                     message: "m".into(),
                     excerpt: "e".into(),
                 },
+                witness: Vec::new(),
             }],
             ..Default::default()
         };

@@ -9,6 +9,7 @@ fn main() {
 
 fn real_main() -> i32 {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -16,9 +17,12 @@ fn real_main() -> i32 {
                 et_lint::list_rules(&mut std::io::stdout());
                 return 0;
             }
+            "--json" => {
+                json = true;
+            }
             "--explain" => {
                 let Some(id) = args.next() else {
-                    eprintln!("et-lint: --explain needs a rule id (L1..L8)");
+                    eprintln!("et-lint: --explain needs a rule id (L1..L11)");
                     return 2;
                 };
                 let Some(rule) = et_lint::rules::Rule::from_id(&id) else {
@@ -37,12 +41,14 @@ fn real_main() -> i32 {
             }
             "--help" | "-h" => {
                 println!(
-                    "et-lint — workspace lint engine (rules L1-L8)\n\n\
-                     USAGE: et-lint [--root <workspace-dir>] [--list-rules] \
-                     [--explain <RULE>]\n\n\
+                    "et-lint — workspace lint engine (rules L1-L11)\n\n\
+                     USAGE: et-lint [--root <workspace-dir>] [--json] \
+                     [--list-rules] [--explain <RULE>]\n\n\
                      --list-rules      one-line summary of every rule\n\
                      --explain L<N>    full rationale and the vetted-exception \
-                     format for one rule\n\n\
+                     format for one rule\n\
+                     --json            machine-readable report on stdout \
+                     (schema in DESIGN.md §12)\n\n\
                      Exit codes: 0 clean, 1 violations or stale allowlist \
                      entries, 2 configuration error.\n\
                      Allowlist: et-lint.toml at the workspace root."
@@ -64,7 +70,14 @@ fn real_main() -> i32 {
         .unwrap_or_else(|| PathBuf::from("."));
 
     match et_lint::run(&root) {
-        Ok(report) => et_lint::render(&report, &root.join("et-lint.toml"), &mut std::io::stdout()),
+        Ok(report) => {
+            let allow = root.join("et-lint.toml");
+            if json {
+                et_lint::json_out::render_json(&report, &allow, &mut std::io::stdout())
+            } else {
+                et_lint::render(&report, &allow, &mut std::io::stdout())
+            }
+        }
         Err(e) => {
             eprintln!("et-lint: {e}");
             2

@@ -25,6 +25,14 @@ pub enum Rule {
     L7,
     /// No hash-container iteration feeding order-sensitive sinks.
     L8,
+    /// No panic-capable operation reachable from public API entry points
+    /// (interprocedural; entry patterns in `et-lint.toml`).
+    L9,
+    /// No cycle in the workspace lock-acquisition order graph.
+    L10,
+    /// No nondeterminism source reachable from session scoring/step/replay
+    /// entry points (sources and entries in `et-lint.toml`).
+    L11,
 }
 
 impl Rule {
@@ -39,6 +47,9 @@ impl Rule {
             Rule::L6 => "L6",
             Rule::L7 => "L7",
             Rule::L8 => "L8",
+            Rule::L9 => "L9",
+            Rule::L10 => "L10",
+            Rule::L11 => "L11",
         }
     }
 
@@ -60,6 +71,15 @@ impl Rule {
             Rule::L6 => "every atomic Ordering argument needs an `// ord:` justification comment",
             Rule::L7 => "no truncating `as` casts between numeric types in library code",
             Rule::L8 => "no HashMap/HashSet iteration feeding order-sensitive sinks unless sorted",
+            Rule::L9 => {
+                "no panic-capable op (panic!/unwrap/expect/indexing) reachable from public API \
+                 entry points"
+            }
+            Rule::L10 => "no cycle in the workspace lock-acquisition order graph",
+            Rule::L11 => {
+                "no nondeterminism source (wall clock, OS entropy, hash iteration) reachable \
+                 from session entry points"
+            }
         }
     }
 
@@ -181,11 +201,80 @@ impl Rule {
                  path = \"...\"\n\
                  reason = \"collected ids are removed from the same map; order cannot escape\""
             }
+            Rule::L9 => {
+                "L9 — no panic-capable operation reachable from a public API entry\n\
+                 point (the interprocedural closure of L1).\n\n\
+                 Why: L1 keeps unwrap()/panic! out of individual library lines, but\n\
+                 a clean-looking handler can still transitively call a helper that\n\
+                 indexes a slice or asserts. Under et-serve load that panic kills a\n\
+                 worker thread silently. L9 builds the workspace call graph, marks\n\
+                 every fn matching an `[[entry]]` pattern (rule = \"L9\") as a public\n\
+                 entry, and walks the resolved edges: any reachable non-test fn\n\
+                 containing panic!/assert-family macros, .unwrap()/.expect(, or an\n\
+                 index/slice expression fires, with the witness call chain printed.\n\
+                 Entry patterns are substring matches on the qualified fn name\n\
+                 (`crate::module::Type::fn`), declared in et-lint.toml:\n\n\
+                 [[entry]]\n\
+                 rule = \"L9\"\n\
+                 pattern = \"SessionState::\"\n\n\
+                 Exception: when the operation is provably in-bounds/infallible:\n\n\
+                 [[allow]]\n\
+                 rule = \"L9\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the offending line>\"\n\
+                 reason = \"<why the panic is unreachable>\""
+            }
+            Rule::L10 => {
+                "L10 — no cycle in the workspace lock-acquisition order graph.\n\n\
+                 Why: et-serve shards its session store behind mutexes and et-fd's\n\
+                 PartitionCache holds two more; a thread taking A then B while\n\
+                 another takes B then A deadlocks only under contention — the one\n\
+                 schedule tests never exercise. L10 extracts per-function lock\n\
+                 acquisitions (`.lock()` method calls and calls into lock-gateway\n\
+                 helpers, attributed to a lock class like `SessionStore.shards` or\n\
+                 `PartitionCache.parts` via receiver/argument field hints), tracks\n\
+                 the guard's live region (let-binding to block close, or statement\n\
+                 end for temporaries, honoring drop(guard)), propagates acquisitions\n\
+                 through the call graph, and fires on any cycle in the resulting\n\
+                 lock-order relation, printing one witness edge per hop.\n\n\
+                 Exception: when the cycle is a false positive (e.g. two locks\n\
+                 provably never held by the same thread):\n\n\
+                 [[allow]]\n\
+                 rule = \"L10\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the witness line>\"\n\
+                 reason = \"<why the interleave cannot happen>\""
+            }
+            Rule::L11 => {
+                "L11 — no nondeterminism source reachable from session\n\
+                 scoring/step/replay entry points.\n\n\
+                 Why: the reproduction's trainer/learner game is deterministic by\n\
+                 construction — replayed sessions must be bit-identical to\n\
+                 uninterrupted ones. A transitive Instant::now() folded into state,\n\
+                 an OS-entropy draw, or an unsorted HashMap iteration breaks that\n\
+                 proof invisibly. L11 marks entry fns via `[[entry]]` patterns\n\
+                 (rule = \"L11\"), declares taint sources via `[[source]]` patterns\n\
+                 matched against rendered call text (`Instant::now`,\n\
+                 `SystemTime::now`, `thread_rng`; the special pattern `hash-iter`\n\
+                 matches unsorted HashMap/HashSet iteration), and fires on every\n\
+                 reachable fn that touches a source, with the per-edge witness\n\
+                 chain printed.\n\n\
+                 [[source]]\n\
+                 rule = \"L11\"\n\
+                 pattern = \"Instant::now\"\n\n\
+                 Exception: when the source provably never feeds session state\n\
+                 (e.g. logging-only timing):\n\n\
+                 [[allow]]\n\
+                 rule = \"L11\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the offending line>\"\n\
+                 reason = \"<why the value cannot reach state>\""
+            }
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 8] {
+    pub fn all() -> [Rule; 11] {
         [
             Rule::L1,
             Rule::L2,
@@ -195,6 +284,9 @@ impl Rule {
             Rule::L6,
             Rule::L7,
             Rule::L8,
+            Rule::L9,
+            Rule::L10,
+            Rule::L11,
         ]
     }
 }
@@ -791,7 +883,7 @@ mod tests {
                 );
             }
         }
-        assert_eq!(Rule::from_id("L9"), None);
+        assert_eq!(Rule::from_id("L12"), None);
         assert_eq!(Rule::from_id(""), None);
     }
 }

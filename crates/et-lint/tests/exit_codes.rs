@@ -1,5 +1,5 @@
 //! End-to-end self-test: the `et-lint` *binary* must exit non-zero on a
-//! seeded violation of each rule L1-L8, zero on a clean tree, and two —
+//! seeded violation of each rule L1-L11, zero on a clean tree, and two —
 //! never one, never a panic — on configuration or I/O failures.
 
 // Test-support helpers outside #[test] fns may expect/unwrap freely.
@@ -247,7 +247,9 @@ fn empty_or_stale_ord_comment_exits_nonzero() {
 
 #[test]
 fn explain_mode_covers_every_rule_and_rejects_unknown_ids() {
-    for id in ["L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8"] {
+    for id in [
+        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11",
+    ] {
         let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
             .args(["--explain", id])
             .output()
@@ -271,4 +273,92 @@ fn workspace_at_head_is_clean() {
     let ws_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let (code, out) = lint(&ws_root);
     assert_eq!(code, 0, "workspace must lint clean:\n{out}");
+}
+
+/// The graph rules end-to-end through the binary: entry declarations in
+/// et-lint.toml, a panic three calls deep, exit 1 with the witness chain.
+#[test]
+fn graph_rule_seeded_violation_exits_nonzero() {
+    let root = scratch(
+        "l9bin",
+        &[
+            (
+                "crates/a/src/lib.rs",
+                "//! Fixture.\n                 /// Entry.\n                 pub fn entry(rows: &[u32]) -> u32 { middle(rows) }\n                 fn middle(rows: &[u32]) -> u32 { deep(rows) }\n                 fn deep(rows: &[u32]) -> u32 { rows[0] }\n",
+            ),
+            (
+                "et-lint.toml",
+                "[[entry]]\nrule = \"L9\"\npattern = \"a::entry\"\n",
+            ),
+        ],
+    );
+    let (code, out) = lint(&root);
+    assert_eq!(code, 1, "stdout: {out}");
+    assert!(out.contains("[L9]"), "stdout: {out}");
+    assert!(out.contains("via "), "witness chain rendered: {out}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `--json` emits the documented machine-readable schema with the same
+/// exit-code contract as the human renderer.
+#[test]
+fn json_flag_emits_schema_with_same_exit_codes() {
+    let root = scratch(
+        "jsonbin",
+        &[(
+            "crates/a/src/lib.rs",
+            "pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        )],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
+        .args(["--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let doc = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"version\": 1,",
+        "\"rule\": \"L1\"",
+        "\"witness\": []",
+        "\"clean\": false",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in: {doc}");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    let root = scratch("jsonclean", &[("crates/a/src/lib.rs", "//! Fine.\n")]);
+    let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
+        .args(["--json", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let doc = String::from_utf8_lossy(&out.stdout);
+    assert!(doc.contains("\"clean\": true"), "{doc}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A stale allowlist entry whose path is one rename away from a scanned
+/// file gets a "did you mean" suggestion in the report.
+#[test]
+fn stale_allow_suggests_nearest_path() {
+    let root = scratch(
+        "stalesuggest",
+        &[
+            ("crates/a/src/session.rs", "//! Fine.\n"),
+            ("crates/a/src/lib.rs", "//! Fine.\n"),
+            (
+                "et-lint.toml",
+                "[[allow]]\nrule = \"L1\"\npath = \"crates/a/src/sesssion.rs\"\n                 reason = \"points at a renamed file\"\n",
+            ),
+        ],
+    );
+    let (code, out) = lint(&root);
+    assert_eq!(code, 1, "stale allow keeps the run dirty: {out}");
+    assert!(
+        out.contains("did you mean 'crates/a/src/session.rs'"),
+        "stdout: {out}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }

@@ -1,0 +1,28 @@
+//! L10 negative fixture: every function takes `a` before `b`, and one
+//! drops its first guard before the second acquisition.
+
+use std::sync::Mutex;
+
+/// Two shards guarded independently.
+pub struct Store {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Store {
+    /// Locks `a` then `b` — the canonical order.
+    pub fn sum(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    /// Same order, and the `a` guard is dropped before `b` is taken.
+    pub fn staged(&self) -> u32 {
+        let ga = self.a.lock();
+        let x = *ga;
+        drop(ga);
+        let gb = self.b.lock();
+        x + *gb
+    }
+}

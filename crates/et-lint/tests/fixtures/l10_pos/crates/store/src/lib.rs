@@ -1,0 +1,27 @@
+//! L10 positive fixture: a deliberate two-lock inversion. `sum_ab` takes
+//! shard `a` then `b`; `sum_ba` takes `b` then `a`. Neither function
+//! panics or fails a test — only the order relation sees the deadlock.
+
+use std::sync::Mutex;
+
+/// Two shards guarded independently.
+pub struct Store {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Store {
+    /// Locks `a` then `b`.
+    pub fn sum_ab(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    /// Locks `b` then `a` — inverted.
+    pub fn sum_ba(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

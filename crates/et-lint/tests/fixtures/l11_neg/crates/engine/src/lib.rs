@@ -1,0 +1,18 @@
+//! L11 negative fixture: the step path is pure; the clock is only read
+//! from a function the entry cannot reach.
+
+use std::time::Instant;
+
+/// Session step entry point (declared in et-lint.toml).
+pub fn step(x: u64) -> u64 {
+    fold(x)
+}
+
+fn fold(x: u64) -> u64 {
+    x.wrapping_mul(2)
+}
+
+/// Off the session path; may read the clock freely.
+pub fn metrics_tick() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,18 @@
+//! L11 positive fixture: the replay/step path reaches a wall-clock read.
+
+use std::time::Instant;
+
+/// Session step entry point (declared in et-lint.toml).
+pub fn step() -> u64 {
+    stamp()
+}
+
+fn stamp() -> u64 {
+    let t = Instant::now();
+    u64::from(t.elapsed().subsec_nanos())
+}
+
+/// Off the session path; may read the clock freely.
+pub fn metrics_tick() -> Instant {
+    Instant::now()
+}

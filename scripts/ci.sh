@@ -14,8 +14,21 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> et-lint (L1-L8 workspace rules)"
-cargo run -q -p et-lint
+echo "==> et-lint (L1-L11 workspace rules, budget ${LINT_BUDGET_SECS:=60}s)"
+# Build first so the budget bounds analysis time, not rustc time. The lint
+# walks + lexes + parses the whole workspace and links the call graph on
+# every run; if it creeps past the wall-clock budget it stops being a
+# run-on-every-push gate, so that creep fails CI loudly (DESIGN.md §12.5).
+cargo build -q --release -p et-lint
+LINT_T0=$(date +%s)
+./target/release/et-lint
+LINT_ELAPSED=$(( $(date +%s) - LINT_T0 ))
+echo "    et-lint wall clock: ${LINT_ELAPSED}s (budget ${LINT_BUDGET_SECS}s)"
+if [ "$LINT_ELAPSED" -gt "$LINT_BUDGET_SECS" ]; then
+  echo "FATAL: et-lint took ${LINT_ELAPSED}s, over the ${LINT_BUDGET_SECS}s budget" >&2
+  echo "       (profile the walker/parser or raise LINT_BUDGET_SECS with a reason)" >&2
+  exit 1
+fi
 
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
