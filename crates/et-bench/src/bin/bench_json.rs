@@ -16,9 +16,13 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use et_bench::fixtures::{fixture, Fixture};
-use et_core::{run_session, CandidatePool, Learner, ResponseStrategy, SessionConfig, StrategyKind};
+use et_core::{
+    recover_session, run_session, CandidatePool, FpTrainer, JournalConfig, Learner,
+    ResponseStrategy, SessionConfig, SessionJournal, SessionState, StrategyKind,
+};
 use et_data::gen::DatasetName;
 use et_data::Table;
+use et_durable::{FsyncPolicy, Wal};
 use et_fd::{
     pair_dirty_probs_with, DetectParams, HypothesisSpace, PartitionCache, RelationMatrix,
     SubsampleIndex, ViolationIndex,
@@ -298,6 +302,156 @@ fn run_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
         );
         r.metrics.len()
     }));
+
+    out.extend(durability_benches(f, quick));
+    out
+}
+
+/// Exits loudly; benches have no error channel worth plumbing.
+fn fail(what: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {e}");
+    std::process::exit(1);
+}
+
+/// Builds a fresh journaling-ready session over the fixture.
+fn durable_session(f: &Fixture, iterations: usize) -> (SessionState, FpTrainer, Learner) {
+    let prior_cfg = et_belief::PriorConfig::weak();
+    let trainer_prior = et_belief::build_prior(
+        &et_belief::PriorSpec::Random { seed: 3 },
+        &prior_cfg,
+        &f.space,
+        &f.table,
+    );
+    let learner_prior = et_belief::build_prior(
+        &et_belief::PriorSpec::DataEstimate,
+        &prior_cfg,
+        &f.space,
+        &f.table,
+    );
+    let trainer = FpTrainer::new(trainer_prior, et_belief::EvidenceConfig::default());
+    let learner = Learner::new(
+        learner_prior,
+        ResponseStrategy::paper(StrategyKind::StochasticBestResponse),
+        et_belief::EvidenceConfig::default(),
+        7,
+    );
+    let cfg = SessionConfig {
+        iterations,
+        seed: 5,
+        ..SessionConfig::default()
+    };
+    let state = match SessionState::new(
+        f.table.clone(),
+        f.space.clone(),
+        &f.dirty_rows,
+        cfg,
+        &trainer,
+        &learner,
+    ) {
+        Ok(s) => s,
+        Err(e) => fail("session config", e),
+    };
+    (state, trainer, learner)
+}
+
+/// The durability family: raw WAL appends (with and without fdatasync),
+/// atomic snapshot writes of a mid-stream session, and full
+/// snapshot-plus-replay recovery.
+fn durability_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
+    let (warmup, iters) = if quick { (1, 3) } else { (3, 25) };
+    let driven = if quick { 5 } else { 8 };
+    let mut out = Vec::new();
+
+    let scratch = std::env::temp_dir().join(format!("et-bench-durable-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    if let Err(e) = std::fs::create_dir_all(&scratch) {
+        fail("create scratch dir", e);
+    }
+
+    // A representative label record: ~10 row ids plus labels and framing.
+    let payload = [0x5Au8; 96];
+    let mut wal = match Wal::open(&scratch.join("bench-nosync.wal"), FsyncPolicy::Never) {
+        Ok(o) => o.wal,
+        Err(e) => fail("open wal", e),
+    };
+    out.push(time_bench(
+        "durable_wal_append",
+        warmup,
+        iters.max(10),
+        || {
+            if let Err(e) = wal.append(1, &payload) {
+                fail("wal append", e);
+            }
+        },
+    ));
+    let mut wal = match Wal::open(&scratch.join("bench-sync.wal"), FsyncPolicy::Always) {
+        Ok(o) => o.wal,
+        Err(e) => fail("open wal", e),
+    };
+    out.push(time_bench(
+        "durable_wal_append_fsync",
+        warmup,
+        iters.max(10),
+        || {
+            if let Err(e) = wal.append(1, &payload) {
+                fail("wal append", e);
+            }
+        },
+    ));
+
+    // Drive a real session mid-stream once, then measure snapshotting it.
+    let journal_cfg = JournalConfig {
+        fsync: FsyncPolicy::Never,
+        snapshot_every: 3,
+    };
+    let snap_dir = scratch.join("session");
+    let (mut state, mut trainer, mut learner) = durable_session(f, driven + 4);
+    let journal = match SessionJournal::create(&snap_dir, journal_cfg) {
+        Ok(j) => j,
+        Err(e) => fail("create journal", e),
+    };
+    state.attach_journal(journal);
+    for _ in 0..driven {
+        let mut step = || -> Result<(), String> {
+            state.present(&mut learner).map_err(|e| e.to_string())?;
+            let labels = state
+                .label_pending(&mut trainer)
+                .map_err(|e| e.to_string())?;
+            state
+                .apply_labels(&trainer, &mut learner, &labels)
+                .map_err(|e| e.to_string())?;
+            state
+                .maybe_snapshot(&trainer, &learner)
+                .map_err(|e| e.to_string())?;
+            Ok(())
+        };
+        if let Err(e) = step() {
+            fail("drive session", e);
+        }
+    }
+    out.push(time_bench("durable_snapshot_write", warmup, iters, || {
+        if let Err(e) = state.snapshot_now(&trainer, &learner) {
+            fail("snapshot", e);
+        }
+    }));
+
+    // Recovery: newest snapshot restore plus WAL-suffix replay, into a
+    // fresh state and agents each time (what a restarting host pays).
+    out.push(time_bench("durable_recover", warmup, iters, || {
+        let (mut state, mut trainer, mut learner) = durable_session(f, driven + 4);
+        match recover_session(
+            &snap_dir,
+            journal_cfg,
+            &mut state,
+            &mut trainer,
+            &mut learner,
+        ) {
+            Ok(outcome) => outcome.replayed,
+            Err(e) => fail("recover", e),
+        }
+    }));
+
+    let _ = std::fs::remove_dir_all(&scratch);
     out
 }
 
@@ -403,6 +557,11 @@ fn main() {
             "matrix_score_vs_naive_speedup",
             "scoring_naive_pool",
             "scoring_matrix_score",
+        ),
+        (
+            "fsync_append_cost_ratio",
+            "durable_wal_append_fsync",
+            "durable_wal_append",
         ),
     ];
     for (name, slow, fast) in ratios {

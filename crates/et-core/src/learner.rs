@@ -9,6 +9,7 @@ use std::collections::HashSet;
 
 use et_belief::{update_from_labeled_pairs, Belief, EvidenceConfig, LabeledPair};
 use et_data::Table;
+use et_durable::{Dec, DurableError, Enc};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -198,6 +199,66 @@ impl Learner {
     /// Number of labeled tuples remembered.
     pub fn tuples_labeled(&self) -> usize {
         self.memory.len()
+    }
+
+    /// Appends the learner's mutable state (belief parameters, RNG stream,
+    /// shown set, labeled-tuple memory) to a snapshot payload. Hash
+    /// collections are emitted in sorted order so identical learners always
+    /// produce identical bytes.
+    pub(crate) fn save_durable(&self, enc: &mut Enc) {
+        crate::journal::save_belief(enc, &self.belief);
+        for w in self.rng.state() {
+            enc.put_u64(w);
+        }
+        let mut shown: Vec<PairExample> = self.shown.iter().copied().collect();
+        shown.sort_unstable();
+        enc.put_usize(shown.len());
+        for p in shown {
+            enc.put_usize(p.a);
+            enc.put_usize(p.b);
+        }
+        enc.put_usize(self.memory.len());
+        for &r in &self.memory {
+            enc.put_usize(r);
+        }
+        let mut labels: Vec<(usize, bool)> = self.labels.iter().map(|(&k, &v)| (k, v)).collect();
+        labels.sort_unstable_by_key(|e| e.0);
+        enc.put_usize(labels.len());
+        for (r, l) in labels {
+            enc.put_usize(r);
+            enc.put_bool(l);
+        }
+    }
+
+    /// Restores state saved by [`Learner::save_durable`]. The learner must
+    /// have been constructed over the same hypothesis space.
+    pub(crate) fn load_durable(&mut self, dec: &mut Dec<'_>) -> Result<(), DurableError> {
+        crate::journal::load_belief(dec, &mut self.belief)?;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = dec.take_u64()?;
+        }
+        self.rng = StdRng::from_state(s);
+        let n_shown = dec.take_usize()?;
+        self.shown = HashSet::with_capacity(n_shown);
+        for _ in 0..n_shown {
+            let a = dec.take_usize()?;
+            let b = dec.take_usize()?;
+            self.shown.insert(PairExample { a, b });
+        }
+        let n_memory = dec.take_usize()?;
+        self.memory = Vec::with_capacity(n_memory);
+        for _ in 0..n_memory {
+            self.memory.push(dec.take_usize()?);
+        }
+        let n_labels = dec.take_usize()?;
+        self.labels = std::collections::HashMap::with_capacity(n_labels);
+        for _ in 0..n_labels {
+            let r = dec.take_usize()?;
+            let l = dec.take_bool()?;
+            self.labels.insert(r, l);
+        }
+        Ok(())
     }
 
     fn labeled_pair(&self, a: usize, b: usize) -> LabeledPair {

@@ -36,6 +36,7 @@
 
 pub mod candidates;
 pub mod game;
+pub mod journal;
 pub mod learner;
 pub mod payoff;
 pub mod replay;
@@ -47,6 +48,9 @@ pub mod weak_strong;
 pub use candidates::CandidatePool;
 pub use et_fd::{PartitionCache, RelationMatrix};
 pub use game::{Interaction, Label, PairExample};
+pub use journal::{
+    recover_session, JournalConfig, LabelRecord, RecoverError, RecoverOutcome, SessionJournal,
+};
 pub use learner::{EvidenceScope, Learner};
 pub use replay::{history_from_csv, history_to_csv, replay_history};
 pub use respond::{ResponseStrategy, ScoreBasis, ScoreCtx, StrategyKind};

@@ -73,6 +73,11 @@ impl std::fmt::Display for HistoryParseError {
 
 impl std::error::Error for HistoryParseError {}
 
+/// Iteration indices above this are rejected as malformed: gap-filling up
+/// to `t` allocates `t` interactions, so an adversarial `iter` field must
+/// not be allowed to request an unbounded allocation.
+const MAX_CSV_ITER: usize = 1 << 20;
+
 /// Restores a history from [`history_to_csv`] output. The `labeled`
 /// evidence-pair field is left empty (replay derives evidence from the
 /// sample and labels).
@@ -94,6 +99,12 @@ pub fn history_from_csv(text: &str) -> Result<Vec<Interaction>, HistoryParseErro
             line: line_no,
             reason: format!("iter: {e}"),
         })?;
+        if t > MAX_CSV_ITER {
+            return Err(HistoryParseError {
+                line: line_no,
+                reason: format!("iter {t} exceeds the {MAX_CSV_ITER} cap"),
+            });
+        }
         while out.len() <= t {
             let next_t = out.len();
             out.push(Interaction {
@@ -114,6 +125,14 @@ pub fn history_from_csv(text: &str) -> Result<Vec<Interaction>, HistoryParseErro
                     line: line_no,
                     reason: format!("b: {e}"),
                 })?;
+                if a == b {
+                    // `PairExample::new` asserts distinct tuples; a
+                    // malformed row must error, not panic.
+                    return Err(HistoryParseError {
+                        line: line_no,
+                        reason: format!("selected pair needs two distinct tuples, got ({a}, {b})"),
+                    });
+                }
                 out[t].selected.push(PairExample::new(a, b));
             }
             "tuple" => {

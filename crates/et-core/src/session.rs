@@ -29,10 +29,11 @@ use et_metrics::ConfusionMatrix;
 
 use crate::candidates::CandidatePool;
 use crate::game::Interaction;
+use crate::journal::{LabelRecord, SessionJournal};
 use crate::learner::Learner;
 use crate::payoff::policy_entropy;
 use crate::respond::ScoreCtx;
-use crate::trainer::Trainer;
+use crate::trainer::{Trainer, TrainerPersist};
 
 /// Session parameters; defaults follow the paper's empirical study.
 #[derive(Debug, Clone)]
@@ -187,6 +188,10 @@ pub enum StepError {
         /// Labels supplied.
         got: usize,
     },
+    /// The attached journal could not durably record the labels; the
+    /// presentation stays pending so the step can be retried. Labels are
+    /// *not* applied: acknowledgement requires durability.
+    Journal(String),
 }
 
 impl std::fmt::Display for StepError {
@@ -202,6 +207,7 @@ impl std::fmt::Display for StepError {
                     "expected {expected} labels (one per sample tuple), got {got}"
                 )
             }
+            StepError::Journal(e) => write!(f, "journal append failed: {e}"),
         }
     }
 }
@@ -316,10 +322,14 @@ impl SessionResult {
 /// distinct tuples shown to whoever is labeling.
 #[derive(Debug, Clone)]
 pub struct PendingInteraction {
-    pairs: Vec<crate::game::PairExample>,
-    sample: Vec<usize>,
-    h_policy: f64,
-    predicted: Vec<bool>,
+    pub(crate) pairs: Vec<crate::game::PairExample>,
+    pub(crate) sample: Vec<usize>,
+    pub(crate) h_policy: f64,
+    pub(crate) predicted: Vec<bool>,
+    /// The hosted trainer's labels for this presentation, cached on the
+    /// first `label_pending` call so retries (e.g. after a journal append
+    /// failure) never make the trainer observe the sample twice.
+    pub(crate) hosted: Option<Vec<bool>>,
 }
 
 impl PendingInteraction {
@@ -373,15 +383,22 @@ pub struct SessionState {
     /// When false, strategies score via the per-call reference path
     /// (parity tests, baseline benchmarks).
     use_matrix: bool,
-    metrics: Vec<IterationMetrics>,
-    history: Vec<Interaction>,
-    prev_trainer: Vec<f64>,
-    prev_learner: Vec<f64>,
-    labels_total: usize,
-    dirty_total: usize,
-    t: usize,
-    exhausted: bool,
-    pending: Option<PendingInteraction>,
+    pub(crate) metrics: Vec<IterationMetrics>,
+    pub(crate) history: Vec<Interaction>,
+    pub(crate) prev_trainer: Vec<f64>,
+    pub(crate) prev_learner: Vec<f64>,
+    pub(crate) labels_total: usize,
+    pub(crate) dirty_total: usize,
+    pub(crate) t: usize,
+    pub(crate) exhausted: bool,
+    pub(crate) pending: Option<PendingInteraction>,
+    /// Attached durability journal, if any (see [`crate::journal`]).
+    pub(crate) journal: Option<SessionJournal>,
+    /// Whether the in-process trainer observed the pending sample via
+    /// [`SessionState::label_pending`] — recorded in the WAL so recovery
+    /// replays the trainer's belief update exactly when (and only when) it
+    /// happened live.
+    pub(crate) trainer_observed: bool,
 }
 
 impl SessionState {
@@ -469,7 +486,80 @@ impl SessionState {
             t: 0,
             exhausted: false,
             pending: None,
+            journal: None,
+            trainer_observed: false,
         })
+    }
+
+    /// Attaches a durability journal: from now on every
+    /// [`SessionState::apply_labels`] durably appends its label batch
+    /// *before* applying it (write-ahead), and
+    /// [`SessionState::maybe_snapshot`] persists state at the journal's
+    /// cadence. See [`crate::journal`] for the recovery path.
+    pub fn attach_journal(&mut self, journal: SessionJournal) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&SessionJournal> {
+        self.journal.as_ref()
+    }
+
+    /// Writes a snapshot now, unconditionally, when a journal is attached.
+    /// Returns the round the snapshot covers (`iterations_done`).
+    ///
+    /// # Errors
+    /// [`et_durable::DurableError`] when the write fails; the previous
+    /// snapshot (if any) is left intact.
+    pub fn snapshot_now<T: TrainerPersist>(
+        &mut self,
+        trainer: &T,
+        learner: &Learner,
+    ) -> Result<Option<usize>, et_durable::DurableError> {
+        if self.journal.is_none() {
+            return Ok(None);
+        }
+        let payload = crate::journal::encode_snapshot(self, trainer, learner);
+        if let Some(j) = self.journal.as_mut() {
+            j.write_snapshot(self.t as u64, &payload)?;
+        }
+        Ok(Some(self.t))
+    }
+
+    /// Writes a snapshot when one is due: a journal is attached, the
+    /// journal's cadence divides `iterations_done`, or the session just
+    /// completed. Returns whether a snapshot was written.
+    ///
+    /// # Errors
+    /// [`et_durable::DurableError`] when the write fails.
+    pub fn maybe_snapshot<T: TrainerPersist>(
+        &mut self,
+        trainer: &T,
+        learner: &Learner,
+    ) -> Result<bool, et_durable::DurableError> {
+        let due = match self.journal.as_ref() {
+            None => false,
+            Some(j) => {
+                let every = j.config().snapshot_every;
+                (every > 0 && self.t > 0 && self.t.is_multiple_of(every)) || self.is_complete()
+            }
+        };
+        if due {
+            self.snapshot_now(trainer, learner)?;
+        }
+        Ok(due)
+    }
+
+    /// Flushes the journal to stable storage regardless of fsync policy
+    /// (eviction/shutdown path under `FsyncPolicy::Never`).
+    ///
+    /// # Errors
+    /// [`et_durable::DurableError`] when the sync fails.
+    pub fn sync_journal(&mut self) -> Result<(), et_durable::DurableError> {
+        match self.journal.as_mut() {
+            Some(j) => j.sync(),
+            None => Ok(()),
+        }
     }
 
     /// The table this session runs over.
@@ -595,6 +685,7 @@ impl SessionState {
             sample,
             h_policy,
             predicted,
+            hosted: None,
         });
         Ok(self.pending.as_ref())
     }
@@ -608,11 +699,23 @@ impl SessionState {
     /// [`StepError::NothingPending`] when no presentation is outstanding.
     pub fn label_pending(&mut self, trainer: &mut dyn Trainer) -> Result<Vec<bool>, StepError> {
         let sample = match &self.pending {
-            Some(p) => p.sample.clone(),
+            Some(p) => {
+                // Idempotent per presentation: a retried call (say, after a
+                // journal append failure) returns the cached verdicts
+                // instead of letting the trainer observe the sample twice.
+                if let Some(hosted) = &p.hosted {
+                    return Ok(hosted.clone());
+                }
+                p.sample.clone()
+            }
             None => return Err(StepError::NothingPending),
         };
         let labels = trainer.respond(&self.table, &sample);
         debug_assert_eq!(labels.len(), sample.len());
+        self.trainer_observed = true;
+        if let Some(p) = self.pending.as_mut() {
+            p.hosted = Some(labels.clone());
+        }
         Ok(labels)
     }
 
@@ -645,6 +748,21 @@ impl SessionState {
                 got: labels.len(),
             });
         }
+        // Write-ahead: the labels reach stable storage *before* they are
+        // applied, so an acknowledged interaction is always recoverable.
+        // On failure the presentation stays pending and no state moved.
+        if let (Some(journal), Some(pending)) = (self.journal.as_mut(), self.pending.as_ref()) {
+            let record = LabelRecord {
+                t: self.t as u64,
+                trainer_observed: self.trainer_observed,
+                sample: pending.sample.clone(),
+                labels: labels.to_vec(),
+            };
+            journal
+                .append_labels(&record)
+                .map_err(|e| StepError::Journal(e.to_string()))?;
+        }
+        self.trainer_observed = false;
         let Some(pending) = self.pending.take() else {
             return Err(StepError::NothingPending);
         };
@@ -653,6 +771,7 @@ impl SessionState {
             sample,
             h_policy,
             predicted,
+            hosted: _,
         } = pending;
 
         // The labeled evidence the learner receives: every within-sample

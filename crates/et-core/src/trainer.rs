@@ -20,9 +20,12 @@ use et_belief::{
     update_from_pair_relations, Belief, EvidenceConfig, HypothesisTester, LabeledPair,
 };
 use et_data::Table;
+use et_durable::{Dec, DurableError, Enc};
 use et_fd::{pair_relation, tuple_dirty_prob, PairRelation, PartitionCache, ViolationIndex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use crate::journal::{load_belief, save_belief};
 
 /// A trainer: observes a presented sample, (possibly) learns, and labels
 /// each tuple of the sample (`true` = dirty).
@@ -37,6 +40,23 @@ pub trait Trainer {
 
     /// Display name.
     fn name(&self) -> String;
+}
+
+/// Trainers whose mutable state can be written into a session snapshot and
+/// restored bit-exactly — the trainer-side half of [`crate::journal`].
+/// Construction-time configuration (thresholds, caches, evidence weights)
+/// is *not* saved; recovery rebuilds the trainer from the original spec and
+/// only overlays the state that evolves during a session.
+pub trait TrainerPersist: Trainer {
+    /// Appends the trainer's mutable state to a snapshot payload.
+    fn save_state(&self, enc: &mut Enc);
+
+    /// Restores state saved by [`TrainerPersist::save_state`].
+    ///
+    /// # Errors
+    /// [`DurableError::Decode`] on truncated or inconsistent bytes (e.g. a
+    /// snapshot taken over a different hypothesis space).
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), DurableError>;
 }
 
 /// All unordered within-sample pairs (as local indices into the sample).
@@ -235,6 +255,28 @@ impl Trainer for FpTrainer {
     }
 }
 
+impl TrainerPersist for FpTrainer {
+    fn save_state(&self, enc: &mut Enc) {
+        save_belief(enc, &self.belief);
+        enc.put_usize(self.memory.len());
+        for &r in &self.memory {
+            enc.put_usize(r);
+        }
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), DurableError> {
+        load_belief(dec, &mut self.belief)?;
+        let n = dec.take_usize()?;
+        self.memory = Vec::with_capacity(n);
+        for _ in 0..n {
+            self.memory.push(dec.take_usize()?);
+        }
+        // `in_memory` is the membership view of `memory`.
+        self.in_memory = self.memory.iter().copied().collect();
+        Ok(())
+    }
+}
+
 /// A hypothesis-testing trainer: labels violations of its single current
 /// hypothesis, and switches hypothesis when the recent window rejects it.
 #[derive(Debug, Clone)]
@@ -349,6 +391,17 @@ impl Trainer for StationaryTrainer {
 
     fn name(&self) -> String {
         "Stationary".into()
+    }
+}
+
+impl TrainerPersist for StationaryTrainer {
+    fn save_state(&self, _enc: &mut Enc) {
+        // A stationary trainer has no mutable state: the belief is fixed at
+        // construction and recovery rebuilds it from the spec.
+    }
+
+    fn load_state(&mut self, _dec: &mut Dec<'_>) -> Result<(), DurableError> {
+        Ok(())
     }
 }
 

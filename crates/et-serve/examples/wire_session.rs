@@ -20,6 +20,7 @@ fn main() {
             shards: 2,
             idle_timeout: Duration::from_secs(60),
             base_seed: 7,
+            ..StoreConfig::default()
         },
     };
     let handle = spawn(cfg).expect("bind ephemeral port");

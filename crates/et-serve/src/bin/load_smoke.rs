@@ -3,20 +3,33 @@
 //! strategy set. Exits non-zero unless every session finishes its full
 //! iteration budget with a falling MAE curve.
 //!
+//! Also a micro load-test: it measures the round-trip latency of every
+//! `submit_labels` call and reports p50/p99, so the cost of durability
+//! (`--data-dir` with `--fsync always` vs `never`) is directly visible.
+//! With `--json` the summary is one machine-readable object on stdout and
+//! the progress chatter moves to stderr.
+//!
 //! ```text
 //! load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N]
+//!            [--data-dir PATH] [--fsync always|never] [--json]
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 use et_core::StrategyKind;
-use et_serve::{spawn, Client, CreateSessionSpec, ServerConfig};
+use et_durable::FsyncPolicy;
+use et_serve::{spawn, Client, CreateSessionSpec, Json, ServerConfig};
 
 struct Options {
     sessions: usize,
     iterations: usize,
     rows: usize,
     seed: u64,
+    data_dir: Option<PathBuf>,
+    fsync: FsyncPolicy,
+    json: bool,
 }
 
 impl Default for Options {
@@ -26,6 +39,9 @@ impl Default for Options {
             iterations: 8,
             rows: 120,
             seed: 2026,
+            data_dir: None,
+            fsync: FsyncPolicy::Always,
+            json: false,
         }
     }
 }
@@ -35,18 +51,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--json" {
+            opts.json = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} requires a value"))?;
-        let parsed: u64 = value
-            .parse()
-            .map_err(|_| format!("{flag} must be a number, got {value:?}"))?;
         match flag {
-            "--sessions" => opts.sessions = parsed as usize,
-            "--iterations" => opts.iterations = parsed as usize,
-            "--rows" => opts.rows = parsed as usize,
-            "--seed" => opts.seed = parsed,
-            other => return Err(format!("unknown flag {other:?}")),
+            "--data-dir" => opts.data_dir = Some(PathBuf::from(value)),
+            "--fsync" => {
+                opts.fsync = FsyncPolicy::from_name(value).map_err(|e| format!("--fsync: {e}"))?;
+            }
+            _ => {
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("{flag} must be a number, got {value:?}"))?;
+                match flag {
+                    "--sessions" => opts.sessions = parsed as usize,
+                    "--iterations" => opts.iterations = parsed as usize,
+                    "--rows" => opts.rows = parsed as usize,
+                    "--seed" => opts.seed = parsed,
+                    other => return Err(format!("unknown flag {other:?}")),
+                }
+            }
         }
         i += 2;
     }
@@ -56,19 +85,67 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn drive_one(addr: &str, spec: CreateSessionSpec) -> Result<(usize, f64, f64), String> {
+/// One driven session: iterations run, first/last MAE, and the wall-clock
+/// latency of each `submit_labels` round trip in milliseconds.
+struct SessionRun {
+    iterations_run: usize,
+    first_mae: f64,
+    last_mae: f64,
+    submit_ms: Vec<f64>,
+}
+
+fn drive_one(addr: &str, spec: CreateSessionSpec) -> Result<SessionRun, String> {
     let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-    let (session, seed) = client.create_session(&spec).map_err(|e| e.to_string())?;
-    let outcome = client
-        .drive_auto(session, seed)
-        .map_err(|e| e.to_string())?;
+    let (session, _seed) = client.create_session(&spec).map_err(|e| e.to_string())?;
+    let mut mae_series = Vec::new();
+    let mut submit_ms = Vec::new();
+    let iterations_run = loop {
+        let reply = client.next_pairs(session).map_err(|e| e.to_string())?;
+        match reply.get("reply").and_then(Json::as_str) {
+            Some("pairs") => {
+                let start = Instant::now();
+                let labeled = client
+                    .submit_labels(session, None)
+                    .map_err(|e| e.to_string())?;
+                submit_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                let mae = labeled
+                    .get("metrics")
+                    .and_then(|m| m.get("mae"))
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| "labeled reply without mae".to_string())?;
+                mae_series.push(mae);
+            }
+            Some("done") => {
+                break reply
+                    .get("iterations_run")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| "done reply without iterations_run".to_string())?
+                    as usize;
+            }
+            other => return Err(format!("unexpected reply kind {other:?}")),
+        }
+    };
     client.close_session(session).map_err(|e| e.to_string())?;
-    let first = outcome
-        .mae_series
+    let first_mae = mae_series
         .first()
         .copied()
         .ok_or_else(|| "empty MAE series".to_string())?;
-    Ok((outcome.iterations_run, first, outcome.final_mae))
+    let last_mae = mae_series.last().copied().unwrap_or(first_mae);
+    Ok(SessionRun {
+        iterations_run,
+        first_mae,
+        last_mae,
+        submit_ms,
+    })
+}
+
+/// Nearest-rank percentile over a sorted slice; `q` in `[0, 1]`.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (q * sorted_ms.len() as f64).ceil() as usize;
+    sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
 fn main() -> ExitCode {
@@ -77,8 +154,20 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("load_smoke: {msg}");
-            eprintln!("usage: load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N]");
+            eprintln!(
+                "usage: load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N] \
+                 [--data-dir PATH] [--fsync always|never] [--json]"
+            );
             return ExitCode::FAILURE;
+        }
+    };
+    // With --json, stdout carries exactly one JSON object; everything
+    // human-shaped goes to stderr.
+    let chat = |line: String| {
+        if opts.json {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
         }
     };
 
@@ -90,6 +179,8 @@ fn main() -> ExitCode {
     };
     cfg.store.capacity = opts.sessions;
     cfg.store.base_seed = opts.seed;
+    cfg.store.data_dir = opts.data_dir.clone();
+    cfg.store.journal.fsync = opts.fsync;
     let handle = match spawn(cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -98,10 +189,19 @@ fn main() -> ExitCode {
         }
     };
     let addr = handle.addr().to_string();
-    println!(
-        "driving {} concurrent sessions ({} iterations each) against {addr}",
-        opts.sessions, opts.iterations
-    );
+    chat(format!(
+        "driving {} concurrent sessions ({} iterations each) against {addr}{}",
+        opts.sessions,
+        opts.iterations,
+        match &opts.data_dir {
+            Some(dir) => format!(
+                ", journaled to {} (fsync {})",
+                dir.display(),
+                opts.fsync.as_str()
+            ),
+            None => ", in-memory".to_string(),
+        }
+    ));
 
     let strategies = StrategyKind::PAPER_METHODS;
     let mut joins = Vec::with_capacity(opts.sessions);
@@ -118,24 +218,29 @@ fn main() -> ExitCode {
     }
 
     let mut failures = 0usize;
+    let mut submit_ms: Vec<f64> = Vec::new();
     for (i, join) in joins.into_iter().enumerate() {
         match join.join() {
-            Ok(Ok((iterations_run, first, last))) => {
-                let ok = iterations_run == opts.iterations && last < first;
-                println!(
-                    "session {i}: {iterations_run} iterations, MAE {first:.4} -> {last:.4} {}",
+            Ok(Ok(run)) => {
+                let ok = run.iterations_run == opts.iterations && run.last_mae < run.first_mae;
+                chat(format!(
+                    "session {i}: {} iterations, MAE {:.4} -> {:.4} {}",
+                    run.iterations_run,
+                    run.first_mae,
+                    run.last_mae,
                     if ok { "ok" } else { "FAIL" }
-                );
+                ));
                 if !ok {
                     failures += 1;
                 }
+                submit_ms.extend(run.submit_ms);
             }
             Ok(Err(msg)) => {
-                println!("session {i}: FAIL ({msg})");
+                chat(format!("session {i}: FAIL ({msg})"));
                 failures += 1;
             }
             Err(_) => {
-                println!("session {i}: FAIL (client thread panicked)");
+                chat(format!("session {i}: FAIL (client thread panicked)"));
                 failures += 1;
             }
         }
@@ -146,6 +251,45 @@ fn main() -> ExitCode {
     }
     handle.wait();
 
+    submit_ms.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&submit_ms, 0.50);
+    let p99 = percentile(&submit_ms, 0.99);
+    let mean = if submit_ms.is_empty() {
+        f64::NAN
+    } else {
+        submit_ms.iter().sum::<f64>() / submit_ms.len() as f64
+    };
+    let max = submit_ms.last().copied().unwrap_or(f64::NAN);
+    chat(format!(
+        "submit_labels latency over {} calls: p50 {p50:.3}ms p99 {p99:.3}ms mean {mean:.3}ms max {max:.3}ms",
+        submit_ms.len()
+    ));
+
+    if opts.json {
+        let summary = Json::Obj(vec![
+            ("sessions".to_string(), Json::Num(opts.sessions as f64)),
+            ("iterations".to_string(), Json::Num(opts.iterations as f64)),
+            ("rows".to_string(), Json::Num(opts.rows as f64)),
+            ("failures".to_string(), Json::Num(failures as f64)),
+            ("durable".to_string(), Json::Bool(opts.data_dir.is_some())),
+            (
+                "fsync".to_string(),
+                Json::Str(opts.fsync.as_str().to_string()),
+            ),
+            (
+                "submit_latency_ms".to_string(),
+                Json::Obj(vec![
+                    ("p50".to_string(), Json::Num(p50)),
+                    ("p99".to_string(), Json::Num(p99)),
+                    ("mean".to_string(), Json::Num(mean)),
+                    ("max".to_string(), Json::Num(max)),
+                    ("samples".to_string(), Json::Num(submit_ms.len() as f64)),
+                ]),
+            ),
+        ]);
+        println!("{}", summary.encode());
+    }
+
     if failures > 0 {
         eprintln!(
             "load_smoke: {failures} of {} sessions failed",
@@ -153,6 +297,6 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    println!("all {} sessions converged", opts.sessions);
+    chat(format!("all {} sessions converged", opts.sessions));
     ExitCode::SUCCESS
 }

@@ -4,11 +4,17 @@
 //! ```text
 //! serve [--addr HOST:PORT] [--workers N] [--capacity N]
 //!       [--idle-timeout-secs N] [--seed N]
+//!       [--data-dir PATH] [--fsync always|never] [--snapshot-every N]
 //! ```
+//!
+//! With `--data-dir`, sessions are journaled (write-ahead label log plus
+//! periodic snapshots) and recovered on start; without it the store is
+//! purely in-memory, exactly as before.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use et_durable::FsyncPolicy;
 use et_serve::{spawn, ServerConfig};
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
@@ -42,6 +48,18 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|_| format!("--seed must be a number, got {value:?}"))?;
             }
+            "--data-dir" => {
+                cfg.store.data_dir = Some(std::path::PathBuf::from(value));
+            }
+            "--fsync" => {
+                cfg.store.journal.fsync =
+                    FsyncPolicy::from_name(value).map_err(|e| format!("--fsync: {e}"))?;
+            }
+            "--snapshot-every" => {
+                cfg.store.journal.snapshot_every = value
+                    .parse()
+                    .map_err(|_| format!("--snapshot-every must be a number, got {value:?}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -57,11 +75,13 @@ fn main() -> ExitCode {
             eprintln!("serve: {msg}");
             eprintln!(
                 "usage: serve [--addr HOST:PORT] [--workers N] [--capacity N] \
-                 [--idle-timeout-secs N] [--seed N]"
+                 [--idle-timeout-secs N] [--seed N] \
+                 [--data-dir PATH] [--fsync always|never] [--snapshot-every N]"
             );
             return ExitCode::FAILURE;
         }
     };
+    let durable = cfg.store.data_dir.is_some();
     let handle = match spawn(cfg) {
         Ok(h) => h,
         Err(e) => {
@@ -69,6 +89,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if durable {
+        let report = handle.recovery_report();
+        println!(
+            "recovered {} sessions ({} failed, {} skipped at capacity)",
+            report.recovered,
+            report.failed.len(),
+            report.skipped_capacity
+        );
+        for (dir, reason) in &report.failed {
+            eprintln!("serve: recovery of {} failed: {reason}", dir.display());
+        }
+    }
     println!("listening on {}", handle.addr());
     // Runs until a client sends {"op":"shutdown"}.
     handle.wait();

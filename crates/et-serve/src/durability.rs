@@ -1,0 +1,247 @@
+//! On-disk layout for durable sessions: one directory per session holding
+//! the creation metadata, the label WAL, and state snapshots.
+//!
+//! ```text
+//! <data-dir>/session-<id:016x>/meta.bin       spec + resolved seed (this module)
+//! <data-dir>/session-<id:016x>/labels.wal     et-core session journal
+//! <data-dir>/session-<id:016x>/snap-*.bin     et-core session snapshots
+//! ```
+//!
+//! The metadata is what recovery needs to rebuild the session *environment*
+//! (table, hypothesis space, agents) from the pure `(spec, seed)` pipeline
+//! in [`crate::spec::build_parts`]; the journal then replays the labels.
+//! `meta.bin` reuses the checksummed atomic-write container from
+//! [`et_durable::snapshot`], so a torn meta write is detected, never
+//! half-trusted.
+
+use std::path::{Path, PathBuf};
+
+use et_core::StrategyKind;
+use et_data::gen::DatasetName;
+use et_durable::{snapshot, Dec, DurableError, Enc};
+
+use crate::spec::CreateSessionSpec;
+
+/// Metadata format version.
+const META_VERSION: u8 = 1;
+/// The metadata filename inside a session directory.
+const META_FILE: &str = "meta.bin";
+/// Session directory name prefix.
+const DIR_PREFIX: &str = "session-";
+
+/// Everything needed to rebuild a session's environment at recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMeta {
+    /// The session id the server handed out.
+    pub id: u64,
+    /// The *resolved* seed the session runs under (explicit or derived).
+    pub seed: u64,
+    /// The creation spec, verbatim.
+    pub spec: CreateSessionSpec,
+}
+
+/// The directory name for session `id` (fixed-width hex so lexical order
+/// is id order).
+pub fn session_dir_name(id: u64) -> String {
+    format!("{DIR_PREFIX}{id:016x}")
+}
+
+/// Parses a [`session_dir_name`]-shaped directory name back to an id.
+pub fn parse_session_dir_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix(DIR_PREFIX)?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+fn encode_meta(meta: &SessionMeta) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u8(META_VERSION);
+    enc.put_u64(meta.id);
+    enc.put_u64(meta.seed);
+    enc.put_str(meta.spec.dataset.as_str());
+    enc.put_usize(meta.spec.rows);
+    enc.put_f64(meta.spec.degree);
+    enc.put_str(meta.spec.strategy.as_str());
+    enc.put_usize(meta.spec.iterations);
+    enc.put_usize(meta.spec.pairs_per_iteration);
+    enc.put_f64(meta.spec.test_frac);
+    match meta.spec.seed {
+        None => enc.put_bool(false),
+        Some(s) => {
+            enc.put_bool(true);
+            enc.put_u64(s);
+        }
+    }
+    enc.into_bytes()
+}
+
+fn decode_meta(payload: &[u8]) -> Result<SessionMeta, DurableError> {
+    let mut dec = Dec::new(payload);
+    let version = dec.take_u8()?;
+    if version != META_VERSION {
+        return Err(DurableError::decode(format!(
+            "meta version {version}, expected {META_VERSION}"
+        )));
+    }
+    let id = dec.take_u64()?;
+    let seed = dec.take_u64()?;
+    let dataset_name = dec.take_str()?;
+    let dataset = DatasetName::ALL
+        .into_iter()
+        .find(|d| d.as_str() == dataset_name)
+        .ok_or_else(|| DurableError::decode(format!("unknown dataset {dataset_name:?}")))?;
+    let rows = dec.take_usize()?;
+    let degree = dec.take_f64()?;
+    let strategy_name = dec.take_str()?;
+    let strategy = StrategyKind::from_name(&strategy_name)
+        .ok_or_else(|| DurableError::decode(format!("unknown strategy {strategy_name:?}")))?;
+    let iterations = dec.take_usize()?;
+    let pairs_per_iteration = dec.take_usize()?;
+    let test_frac = dec.take_f64()?;
+    let explicit_seed = if dec.take_bool()? {
+        Some(dec.take_u64()?)
+    } else {
+        None
+    };
+    dec.finish()?;
+    Ok(SessionMeta {
+        id,
+        seed,
+        spec: CreateSessionSpec {
+            dataset,
+            rows,
+            degree,
+            strategy,
+            iterations,
+            pairs_per_iteration,
+            test_frac,
+            seed: explicit_seed,
+        },
+    })
+}
+
+/// Atomically writes the session metadata into `dir`.
+///
+/// # Errors
+/// [`DurableError::Io`] when the write fails.
+pub fn write_meta(dir: &Path, meta: &SessionMeta, sync: bool) -> Result<(), DurableError> {
+    snapshot::write_atomic(dir, META_FILE, &encode_meta(meta), sync)?;
+    Ok(())
+}
+
+/// Reads and validates the session metadata from `dir`.
+///
+/// # Errors
+/// [`DurableError::Io`] when the file is unreadable, [`DurableError::Corrupt`]
+/// when the checksum fails, [`DurableError::Decode`] on format skew.
+pub fn read_meta(dir: &Path) -> Result<SessionMeta, DurableError> {
+    decode_meta(&snapshot::read(&dir.join(META_FILE))?)
+}
+
+/// Lists the session directories under `data_dir`, ascending by id.
+///
+/// Sorted explicitly: `read_dir` order is platform-dependent, and recovery
+/// must assign ids and pick capacity winners deterministically.
+///
+/// # Errors
+/// [`DurableError::Io`] when `data_dir` cannot be read.
+pub fn list_session_dirs(data_dir: &Path) -> Result<Vec<(u64, PathBuf)>, DurableError> {
+    let entries =
+        std::fs::read_dir(data_dir).map_err(|e| DurableError::io("read data dir", data_dir, &e))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| DurableError::io("read data dir entry", data_dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(id) = parse_session_dir_name(name) else {
+            continue;
+        };
+        if entry.path().is_dir() {
+            out.push((id, entry.path()));
+        }
+    }
+    out.sort_unstable_by_key(|&(id, _)| id);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("et-serve-meta-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create tempdir");
+        dir
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let dir = tempdir("roundtrip");
+        let meta = SessionMeta {
+            id: 0xBEEF,
+            seed: 42,
+            spec: CreateSessionSpec {
+                dataset: DatasetName::Hospital,
+                rows: 120,
+                degree: 0.2,
+                strategy: StrategyKind::UncertaintySampling,
+                iterations: 9,
+                pairs_per_iteration: 4,
+                test_frac: 0.25,
+                seed: Some(42),
+            },
+        };
+        write_meta(&dir, &meta, false).expect("write");
+        assert_eq!(read_meta(&dir).expect("read"), meta);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_meta_is_rejected() {
+        let dir = tempdir("corrupt");
+        let meta = SessionMeta {
+            id: 1,
+            seed: 2,
+            spec: CreateSessionSpec::default(),
+        };
+        write_meta(&dir, &meta, false).expect("write");
+        let path = dir.join(META_FILE);
+        let mut bytes = std::fs::read(&path).expect("read back");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        assert!(read_meta(&dir).is_err(), "flipped bit must fail the crc");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dir_names_round_trip_and_sort_by_id() {
+        assert_eq!(parse_session_dir_name(&session_dir_name(7)), Some(7));
+        assert_eq!(
+            parse_session_dir_name(&session_dir_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_session_dir_name("session-zz"), None);
+        assert_eq!(parse_session_dir_name("other"), None);
+        // Fixed-width hex: lexical order is id order.
+        assert!(session_dir_name(9) < session_dir_name(10));
+        assert!(session_dir_name(255) < session_dir_name(4096));
+    }
+
+    #[test]
+    fn list_skips_foreign_entries() {
+        let dir = tempdir("list");
+        std::fs::create_dir(dir.join(session_dir_name(3))).expect("mk 3");
+        std::fs::create_dir(dir.join(session_dir_name(1))).expect("mk 1");
+        std::fs::create_dir(dir.join("not-a-session")).expect("mk foreign");
+        std::fs::write(dir.join("stray.txt"), b"x").expect("stray file");
+        let listed = list_session_dirs(&dir).expect("list");
+        let ids: Vec<u64> = listed.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 3], "sorted, foreign entries skipped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,7 @@
 //! DESIGN.md §9.
 
 pub mod client;
+pub mod durability;
 pub mod json;
 pub mod protocol;
 pub mod server;
@@ -34,8 +35,9 @@ pub mod spec;
 pub mod store;
 
 pub use client::{Client, ClientError, DriveOutcome};
+pub use durability::{read_meta, session_dir_name, write_meta, SessionMeta};
 pub use json::{Json, JsonError};
 pub use protocol::{ErrorCode, Request, Response, WirePair};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use spec::{build_parts, derive_seed, run_batch, CreateSessionSpec, SessionParts};
-pub use store::{SessionStore, StoreConfig, StoreError};
+pub use store::{RecoveryReport, SessionStore, StoreConfig, StoreError};

@@ -73,6 +73,9 @@ pub enum ErrorCode {
     InvalidConfig,
     /// The server is draining; no new work is accepted.
     ShuttingDown,
+    /// A server-side failure (e.g. durable storage refused a write). The
+    /// session is untouched; the request may be retried.
+    Internal,
 }
 
 impl ErrorCode {
@@ -86,6 +89,7 @@ impl ErrorCode {
             ErrorCode::WrongPhase => "wrong_phase",
             ErrorCode::InvalidConfig => "invalid_config",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
         }
     }
 
@@ -99,6 +103,7 @@ impl ErrorCode {
             ErrorCode::WrongPhase,
             ErrorCode::InvalidConfig,
             ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
         ]
         .into_iter()
         .find(|c| c.as_str() == name)
@@ -178,6 +183,12 @@ pub enum Response {
         mae_series: Vec<f64>,
         /// Convergence point so far, if any.
         converged_at: Option<usize>,
+        /// The learner's current per-FD confidences. f64 encoding is
+        /// shortest-round-trip, so these compare *bit-exactly* across the
+        /// wire — the crash-recovery harness leans on that.
+        learner_confidences: Vec<f64>,
+        /// The hosted trainer's current per-FD confidences.
+        trainer_confidences: Vec<f64>,
     },
     /// Snapshot of the whole server.
     ServerStatus {
@@ -512,6 +523,8 @@ impl Response {
                 awaiting_labels,
                 mae_series,
                 converged_at,
+                learner_confidences,
+                trainer_confidences,
             } => ok_reply(
                 "session_status",
                 vec![
@@ -524,6 +537,14 @@ impl Response {
                         Json::Arr(mae_series.iter().map(|&m| Json::Num(m)).collect()),
                     ),
                     ("converged_at", opt_num(*converged_at)),
+                    (
+                        "learner_confidences",
+                        Json::Arr(learner_confidences.iter().map(|&c| Json::Num(c)).collect()),
+                    ),
+                    (
+                        "trainer_confidences",
+                        Json::Arr(trainer_confidences.iter().map(|&c| Json::Num(c)).collect()),
+                    ),
                 ],
             ),
             Response::ServerStatus {
@@ -684,6 +705,7 @@ mod tests {
             ErrorCode::WrongPhase,
             ErrorCode::InvalidConfig,
             ErrorCode::ShuttingDown,
+            ErrorCode::Internal,
         ] {
             assert_eq!(ErrorCode::from_name(code.as_str()), Some(code));
         }

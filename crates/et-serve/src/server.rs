@@ -17,8 +17,10 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use et_core::StepError;
+
 use crate::protocol::{ErrorCode, Request, Response, WirePair};
-use crate::store::{SessionStore, StoreConfig, StoreError};
+use crate::store::{RecoveryReport, SessionStore, StoreConfig, StoreError};
 
 /// How often blocked threads wake to check the stop flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(250);
@@ -50,12 +52,20 @@ pub struct ServerHandle {
     stop: Arc<AtomicBool>,
     accept_join: Option<JoinHandle<()>>,
     worker_joins: Vec<JoinHandle<()>>,
+    ctx: Arc<ServerCtx>,
+    recovery: RecoveryReport,
 }
 
 impl ServerHandle {
     /// The address the listener actually bound (resolves port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What start-up recovery found under the data directory (all zeros
+    /// when the store runs in-memory).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
     }
 
     /// Raises the stop flag and unblocks the accept loop. Idempotent;
@@ -67,7 +77,9 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
     }
 
-    /// Blocks until every server thread has exited.
+    /// Blocks until every server thread has exited, then flushes every
+    /// journaled session (snapshot + WAL sync) so a clean shutdown leaves
+    /// recovery nothing to replay.
     pub fn wait(mut self) {
         if let Some(h) = self.accept_join.take() {
             let _ = h.join();
@@ -75,6 +87,7 @@ impl ServerHandle {
         for h in self.worker_joins.drain(..) {
             let _ = h.join();
         }
+        let _ = self.ctx.store.flush_all();
     }
 
     /// True once shutdown has been requested.
@@ -106,8 +119,12 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
+    let store = SessionStore::new(cfg.store);
+    // Recover journaled sessions before any worker can serve traffic, so a
+    // client reconnecting after a crash finds its session already live.
+    let recovery = store.recover_from_disk();
     let ctx = Arc::new(ServerCtx {
-        store: SessionStore::new(cfg.store),
+        store,
         stop: stop.clone(),
         addr,
     });
@@ -145,6 +162,8 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         stop,
         accept_join: Some(accept_join),
         worker_joins,
+        ctx,
+        recovery,
     })
 }
 
@@ -247,6 +266,10 @@ fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
                     code: ErrorCode::InvalidConfig,
                     message: msg,
                 },
+                Err(StoreError::Durability(msg)) => Response::Error {
+                    code: ErrorCode::Internal,
+                    message: format!("durable storage refused the session: {msg}"),
+                },
                 Err(StoreError::Unknown(id)) => {
                     err(ErrorCode::UnknownSession, &format!("no session {id}"))
                 }
@@ -265,6 +288,8 @@ fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
                 awaiting_labels: live.state.pending().is_some(),
                 mae_series: live.state.metrics().iter().map(|m| m.mae).collect(),
                 converged_at: report.converged_at,
+                learner_confidences: live.learner.confidences(),
+                trainer_confidences: live.trainer.belief().confidences(),
             }
         }),
         Request::Status { session: None } => {
@@ -405,11 +430,26 @@ fn submit_labels(live: &mut crate::store::LiveSession, labels: Option<Vec<bool>>
     };
     let applied = labels.unwrap_or(hosted);
     match state.apply_labels(trainer, learner, &applied) {
-        Ok(metrics) => Response::Labeled {
-            session,
-            labels: applied,
-            metrics: metrics.clone(),
-        },
+        Ok(metrics) => {
+            let metrics = metrics.clone();
+            // Best-effort cadence snapshot: the WAL append inside
+            // apply_labels already made the batch durable, so a failed
+            // snapshot costs replay time at recovery, never data.
+            if let Err(e) = state.maybe_snapshot(trainer, learner) {
+                eprintln!("et-serve: snapshot of session {session} failed: {e}");
+            }
+            Response::Labeled {
+                session,
+                labels: applied,
+                metrics,
+            }
+        }
+        // The journal could not durably record the batch: the presentation
+        // stays pending and the submit is retryable. Do NOT acknowledge.
+        Err(StepError::Journal(e)) => err(
+            ErrorCode::Internal,
+            &format!("labels were not durably recorded: {e}"),
+        ),
         Err(e) => err(ErrorCode::WrongPhase, &e.to_string()),
     }
 }

@@ -18,7 +18,7 @@ use et_fd::{Fd, HypothesisSpace};
 
 /// What a `create_session` request asks for; every field has a paper-shaped
 /// default so the empty request is valid.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CreateSessionSpec {
     /// Synthetic dataset family.
     pub dataset: DatasetName,

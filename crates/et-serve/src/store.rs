@@ -8,12 +8,15 @@
 //! in atomics beside the shards.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use et_core::{FpTrainer, Learner, SessionState};
+use et_core::{recover_session, FpTrainer, JournalConfig, Learner, SessionJournal, SessionState};
+use et_durable::{DurableError, FsyncPolicy};
 
+use crate::durability::{list_session_dirs, read_meta, session_dir_name, write_meta, SessionMeta};
 use crate::spec::{build_parts, derive_seed, CreateSessionSpec};
 
 /// One live session: the resumable state plus its agents and bookkeeping.
@@ -45,6 +48,12 @@ pub struct StoreConfig {
     pub idle_timeout: Duration,
     /// Base seed for per-session seed derivation.
     pub base_seed: u64,
+    /// When set, sessions are journaled under this directory and recovered
+    /// on start; `None` keeps the store purely in-memory (the default).
+    pub data_dir: Option<PathBuf>,
+    /// Journal fsync policy and snapshot cadence (ignored without
+    /// `data_dir`).
+    pub journal: JournalConfig,
 }
 
 impl Default for StoreConfig {
@@ -54,6 +63,8 @@ impl Default for StoreConfig {
             shards: 8,
             idle_timeout: Duration::from_secs(300),
             base_seed: 0,
+            data_dir: None,
+            journal: JournalConfig::default(),
         }
     }
 }
@@ -67,6 +78,9 @@ pub enum StoreError {
     Unknown(u64),
     /// The spec or derived config was rejected.
     Invalid(String),
+    /// Durable storage refused the operation (the session was not created
+    /// or the labels were not acknowledged).
+    Durability(String),
 }
 
 /// Monotonic lifetime counters (exposed via the `status` op).
@@ -78,6 +92,18 @@ pub struct StoreCounters {
     pub evicted_total: u64,
     /// Creates refused at capacity since start.
     pub busy_rejections: u64,
+}
+
+/// What [`SessionStore::recover_from_disk`] found under the data
+/// directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Sessions recovered into the store.
+    pub recovered: usize,
+    /// Session directories left on disk because the store was at capacity.
+    pub skipped_capacity: usize,
+    /// Directories that failed to recover (left on disk for inspection).
+    pub failed: Vec<(PathBuf, String)>,
 }
 
 /// Snapshot of store occupancy plus counters.
@@ -183,7 +209,7 @@ impl SessionStore {
                 return Err(StoreError::Invalid(msg));
             }
         };
-        let state = match SessionState::new(
+        let mut state = match SessionState::new(
             parts.table,
             parts.space,
             &parts.dirty_rows,
@@ -203,6 +229,30 @@ impl SessionStore {
         // Prebuild the round-invariant relation matrix at create time so the
         // first next_pairs call pays scoring cost only, not matrix setup.
         let _ = state.relation_matrix();
+        if let Some(data_dir) = &self.cfg.data_dir {
+            let dir = data_dir.join(session_dir_name(id));
+            let attach = (|| -> Result<(), DurableError> {
+                let journal = SessionJournal::create(&dir, self.cfg.journal)?;
+                write_meta(
+                    &dir,
+                    &SessionMeta {
+                        id,
+                        seed,
+                        spec: spec.clone(),
+                    },
+                    self.cfg.journal.fsync == FsyncPolicy::Always,
+                )?;
+                state.attach_journal(journal);
+                Ok(())
+            })();
+            if let Err(e) = attach {
+                // A directory without a valid meta would read as a failed
+                // recovery forever; clear it so the id slot stays clean.
+                let _ = std::fs::remove_dir_all(&dir);
+                release(self);
+                return Err(StoreError::Durability(e.to_string()));
+            }
+        }
         let live = LiveSession {
             id,
             seed,
@@ -236,7 +286,9 @@ impl SessionStore {
         }
     }
 
-    /// Drops the session `id`.
+    /// Drops the session `id`. An explicit close discards the session's
+    /// durable directory too — closed sessions are finished, not
+    /// recoverable (idle *eviction* is what preserves the directory).
     ///
     /// # Errors
     /// [`StoreError::Unknown`] when no live session has this id.
@@ -245,15 +297,144 @@ impl SessionStore {
         match removed {
             Some(_) => {
                 self.live.fetch_sub(1, Ordering::AcqRel); // ord: AcqRel releases the capacity slot
+                if let Some(data_dir) = &self.cfg.data_dir {
+                    let _ = std::fs::remove_dir_all(data_dir.join(session_dir_name(id)));
+                }
                 Ok(())
             }
             None => Err(StoreError::Unknown(id)),
         }
     }
 
+    /// Flushes one live session to its journal: a fresh snapshot plus a WAL
+    /// sync. No-op for sessions without a journal.
+    fn flush_live(live: &mut LiveSession) -> Result<(), DurableError> {
+        let LiveSession {
+            state,
+            trainer,
+            learner,
+            ..
+        } = live;
+        state.snapshot_now(trainer, learner)?;
+        state.sync_journal()
+    }
+
+    /// Snapshots and syncs every journaled live session (graceful-shutdown
+    /// path). Returns how many sessions flushed cleanly; failures are
+    /// counted, not fatal — the WAL already holds every acknowledged label,
+    /// so a failed snapshot only costs replay time at recovery.
+    pub fn flush_all(&self) -> (usize, usize) {
+        let (mut ok, mut failed) = (0usize, 0usize);
+        for shard in &self.shards {
+            let mut shard = lock_shard(shard);
+            for live in shard.values_mut() {
+                if live.state.journal().is_none() {
+                    continue;
+                }
+                match Self::flush_live(live) {
+                    Ok(()) => ok += 1,
+                    Err(e) => {
+                        failed += 1;
+                        eprintln!("et-serve: flush of session {} failed: {e}", live.id);
+                    }
+                }
+            }
+        }
+        (ok, failed)
+    }
+
+    /// Recovers every session directory under the configured `data_dir`
+    /// into the store, ascending by id. Call once, before serving traffic.
+    ///
+    /// Sessions beyond capacity are left on disk untouched (reported as
+    /// `skipped_capacity`); directories that fail to recover are also left
+    /// on disk and reported, so no crash artifact is ever silently deleted.
+    pub fn recover_from_disk(&self) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        let Some(data_dir) = self.cfg.data_dir.clone() else {
+            return report;
+        };
+        let dirs = match list_session_dirs(&data_dir) {
+            Ok(d) => d,
+            Err(e) => {
+                // A missing data dir is a fresh start, not a failure.
+                if !data_dir.exists() {
+                    return report;
+                }
+                report.failed.push((data_dir, e.to_string()));
+                return report;
+            }
+        };
+        for (id, dir) in dirs {
+            // Ids must never collide with recovered sessions, even ones
+            // skipped or failed (their directories may recover later).
+            self.next_id.fetch_max(id + 1, Ordering::Relaxed); // ord: Relaxed, ids only need uniqueness
+                                                               // ord: Acquire pairs with AcqRel slot updates
+            if self.live.load(Ordering::Acquire) >= self.cfg.capacity {
+                report.skipped_capacity += 1;
+                continue;
+            }
+            match self.recover_one(id, &dir) {
+                Ok(()) => report.recovered += 1,
+                Err(msg) => report.failed.push((dir, msg)),
+            }
+        }
+        report
+    }
+
+    fn recover_one(&self, id: u64, dir: &std::path::Path) -> Result<(), String> {
+        let meta = read_meta(dir).map_err(|e| format!("meta: {e}"))?;
+        if meta.id != id {
+            return Err(format!(
+                "meta id {} does not match directory id {id}",
+                meta.id
+            ));
+        }
+        let parts = build_parts(&meta.spec, meta.seed)?;
+        let mut state = SessionState::new(
+            parts.table,
+            parts.space,
+            &parts.dirty_rows,
+            parts.cfg,
+            &parts.trainer,
+            &parts.learner,
+        )
+        .map_err(|e| e.to_string())?;
+        // Mirror the create path exactly: cache-backed trainer, prebuilt
+        // matrix — replay must walk the same code the live session walked.
+        let mut trainer = parts.trainer.with_cache(state.partition_cache().clone());
+        let mut learner = parts.learner;
+        let _ = state.relation_matrix();
+        recover_session(
+            dir,
+            self.cfg.journal,
+            &mut state,
+            &mut trainer,
+            &mut learner,
+        )
+        .map_err(|e| e.to_string())?;
+        let reported_done = state.is_complete() && state.pending().is_none();
+        let live = LiveSession {
+            id,
+            seed: meta.seed,
+            state,
+            trainer,
+            learner,
+            last_touch: Instant::now(),
+            reported_done,
+        };
+        lock_shard(self.shard_of(id)).insert(id, live);
+        self.live.fetch_add(1, Ordering::AcqRel); // ord: AcqRel pairs with the reservation RMW
+        Ok(())
+    }
+
     /// Evicts every session idle longer than the configured timeout.
     /// Called lazily on each create (no background reaper thread needed:
     /// a full store is the only state where eviction matters).
+    ///
+    /// Journaled sessions are flushed (snapshot + WAL sync) before the
+    /// in-memory state drops: an evicted durable session stays recoverable
+    /// from its directory at the next server start.
     pub fn evict_idle(&self) -> usize {
         let now = Instant::now();
         let mut evicted = 0usize;
@@ -267,6 +448,17 @@ impl SessionStore {
             // Evict in id order: deterministic across HashMap layouts.
             stale.sort_unstable();
             for id in stale {
+                if let Some(live) = shard.get_mut(&id) {
+                    if live.state.journal().is_some() {
+                        if let Err(e) = Self::flush_live(live) {
+                            // Evict anyway: the WAL already holds every
+                            // acknowledged label, so only replay time (and
+                            // an unlogged pending presentation, which
+                            // replay re-derives) is at stake.
+                            eprintln!("et-serve: eviction flush of session {id} failed: {e}");
+                        }
+                    }
+                }
                 shard.remove(&id);
                 evicted += 1;
             }
@@ -316,6 +508,7 @@ mod tests {
             shards: 4,
             idle_timeout: idle,
             base_seed: 11,
+            ..StoreConfig::default()
         })
     }
 

@@ -23,6 +23,7 @@ fn test_server(capacity: usize, idle_timeout: Duration) -> (et_serve::ServerHand
             shards: 4,
             idle_timeout,
             base_seed: 7,
+            ..StoreConfig::default()
         },
     };
     let handle = spawn(cfg).expect("bind ephemeral port");

@@ -40,6 +40,19 @@ echo "==> et-serve bins + server integration test"
 cargo build -q --release -p et-serve --bins
 cargo test -q -p et-serve --test server_integration
 
+echo "==> crash-injection recovery (kill -9 through the real serve binary, budget ${CRASH_BUDGET_SECS:=120}s)"
+# On non-unix hosts the test itself prints SKIPPED and passes vacuously;
+# here the wall clock is bounded so a hung recovery cannot wedge the gate.
+if command -v timeout >/dev/null 2>&1; then
+  if ! timeout "${CRASH_BUDGET_SECS}" cargo test -q -p et-serve --test crash_recovery; then
+    echo "FATAL: crash_recovery failed or exceeded ${CRASH_BUDGET_SECS}s" >&2
+    exit 1
+  fi
+else
+  echo "    timeout(1) unavailable: running crash_recovery unbounded"
+  cargo test -q -p et-serve --test crash_recovery
+fi
+
 echo "==> bench harness compiles + bench_json smoke (quick profile)"
 cargo build -q --release -p et-bench --benches --bins
 BENCH_OUT="$(mktemp /tmp/et-bench-substrate.XXXXXX.json)"

@@ -212,6 +212,28 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words, for bit-exact persistence.
+        ///
+        /// Feeding the bytes of these words back through
+        /// [`SeedableRng::from_seed`] (little-endian, word-major) rebuilds a
+        /// generator that continues the exact same stream; the session
+        /// journal relies on this for crash recovery.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            // An all-zero state would be a fixed point; remap it the same
+            // way `from_seed` does so the two constructors agree.
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]
