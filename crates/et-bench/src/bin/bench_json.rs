@@ -262,6 +262,20 @@ fn run_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
         let s = matrix.score_all(&conf, &params);
         s.dirty.iter().sum::<f64>()
     }));
+    // The hot-path contract (L12): the same batch pass with caller-owned
+    // scratch allocates nothing after the first round. Scores pinned
+    // bit-exact against score_all by the relmatrix tests.
+    let mut factors = vec![0.0; f.space.len()];
+    let mut scores = et_fd::PairScores::zeroed(pairs.len());
+    out.push(time_bench(
+        "scoring_matrix_score_alloc_free",
+        warmup,
+        iters,
+        || {
+            matrix.score_all_into(&conf, &params, &mut factors, &mut scores);
+            scores.dirty.iter().sum::<f64>()
+        },
+    ));
 
     out.push(time_bench("session_fp_rounds", 0, session_iters, || {
         let prior_cfg = et_belief::PriorConfig {
@@ -557,6 +571,11 @@ fn main() {
             "matrix_score_vs_naive_speedup",
             "scoring_naive_pool",
             "scoring_matrix_score",
+        ),
+        (
+            "alloc_free_score_speedup",
+            "scoring_matrix_score",
+            "scoring_matrix_score_alloc_free",
         ),
         (
             "fsync_append_cost_ratio",

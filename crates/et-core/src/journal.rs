@@ -89,20 +89,27 @@ pub struct LabelRecord {
     pub labels: Vec<bool>,
 }
 
+/// Encodes one label batch from borrowed parts — the frame
+/// [`SessionJournal::append_labels_parts`] writes without materialising an
+/// owned [`LabelRecord`]. Byte-identical to [`LabelRecord::encode`].
+fn encode_labels(t: u64, trainer_observed: bool, sample: &[usize], labels: &[bool]) -> Vec<u8> {
+    let mut enc = Enc::new();
+    enc.put_u64(t);
+    enc.put_bool(trainer_observed);
+    enc.put_usize(sample.len());
+    for &r in sample {
+        enc.put_usize(r);
+    }
+    enc.put_usize(labels.len());
+    for &l in labels {
+        enc.put_bool(l);
+    }
+    enc.into_bytes()
+}
+
 impl LabelRecord {
     fn encode(&self) -> Vec<u8> {
-        let mut enc = Enc::new();
-        enc.put_u64(self.t);
-        enc.put_bool(self.trainer_observed);
-        enc.put_usize(self.sample.len());
-        for &r in &self.sample {
-            enc.put_usize(r);
-        }
-        enc.put_usize(self.labels.len());
-        for &l in &self.labels {
-            enc.put_bool(l);
-        }
-        enc.into_bytes()
+        encode_labels(self.t, self.trainer_observed, &self.sample, &self.labels)
     }
 
     fn decode(payload: &[u8]) -> Result<Self, DurableError> {
@@ -212,6 +219,26 @@ impl SessionJournal {
     /// [`DurableError::Io`] when the append or sync fails.
     pub fn append_labels(&mut self, record: &LabelRecord) -> Result<(), DurableError> {
         self.wal.append(REC_LABELS, &record.encode())
+    }
+
+    /// [`SessionJournal::append_labels`] from borrowed parts: writes the
+    /// byte-identical frame without the caller cloning its pending sample
+    /// and label slices into an owned [`LabelRecord`] first (the hot-path
+    /// lint budget for `apply_labels` charges those clones).
+    ///
+    /// # Errors
+    /// [`DurableError::Io`] when the append or sync fails.
+    pub fn append_labels_parts(
+        &mut self,
+        t: u64,
+        trainer_observed: bool,
+        sample: &[usize],
+        labels: &[bool],
+    ) -> Result<(), DurableError> {
+        self.wal.append(
+            REC_LABELS,
+            &encode_labels(t, trainer_observed, sample, labels),
+        )
     }
 
     /// Atomically writes the snapshot covering rounds `[0, t)` and prunes

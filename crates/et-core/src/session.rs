@@ -29,7 +29,7 @@ use et_metrics::ConfusionMatrix;
 
 use crate::candidates::CandidatePool;
 use crate::game::Interaction;
-use crate::journal::{LabelRecord, SessionJournal};
+use crate::journal::SessionJournal;
 use crate::learner::Learner;
 use crate::payoff::policy_entropy;
 use crate::respond::ScoreCtx;
@@ -752,14 +752,13 @@ impl SessionState {
         // applied, so an acknowledged interaction is always recoverable.
         // On failure the presentation stays pending and no state moved.
         if let (Some(journal), Some(pending)) = (self.journal.as_mut(), self.pending.as_ref()) {
-            let record = LabelRecord {
-                t: self.t as u64,
-                trainer_observed: self.trainer_observed,
-                sample: pending.sample.clone(),
-                labels: labels.to_vec(),
-            };
             journal
-                .append_labels(&record)
+                .append_labels_parts(
+                    self.t as u64,
+                    self.trainer_observed,
+                    &pending.sample,
+                    labels,
+                )
                 .map_err(|e| StepError::Journal(e.to_string()))?;
         }
         self.trainer_observed = false;

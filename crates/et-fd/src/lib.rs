@@ -52,7 +52,7 @@ pub use incremental::SubsampleIndex;
 pub use keys::{discover_keys, is_key, Ucc};
 pub use measures::{g2_g3, ApproxMeasures};
 pub use partitions::{discover_tane, StrippedPartition, TaneFd};
-pub use relmatrix::{violation_factors, PairScores, RelationMatrix};
+pub use relmatrix::{violation_factors, violation_factors_into, PairScores, RelationMatrix};
 pub use repair::{apply_repairs, propose_repairs, Repair};
 pub use space::HypothesisSpace;
 pub use violations::{

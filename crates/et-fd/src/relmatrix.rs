@@ -98,6 +98,19 @@ pub struct PairScores {
     pub entropy: Vec<f64>,
 }
 
+impl PairScores {
+    /// Pre-sized scratch for [`RelationMatrix::score_all_into`]: both
+    /// vectors at length `n_pairs`, zero-filled. Allocate once per round
+    /// loop and reuse — the hot-path lint (L12) forbids per-round
+    /// allocation downstream of scoring roots.
+    pub fn zeroed(n_pairs: usize) -> Self {
+        Self {
+            dirty: vec![0.0; n_pairs],
+            entropy: vec![0.0; n_pairs],
+        }
+    }
+}
+
 /// The per-FD noisy-OR keep-clean factors `1 − indicator(c_f)` for a
 /// confidence vector: precompute once, reuse across every pair of a batch.
 /// Multiplying the factors of a pair's violated FDs in ascending FD order
@@ -107,6 +120,23 @@ pub fn violation_factors(confidences: &[f64], params: &DetectParams) -> Vec<f64>
         .iter()
         .map(|&c| 1.0 - params.indicator.apply(c))
         .collect()
+}
+
+/// In-place variant of [`violation_factors`]: refills a caller-owned
+/// buffer (one slot per FD) with bit-identical factors instead of
+/// allocating a fresh vector per round.
+///
+/// # Panics
+/// Panics when `out` does not have one slot per confidence.
+pub fn violation_factors_into(confidences: &[f64], params: &DetectParams, out: &mut [f64]) {
+    assert_eq!(
+        out.len(),
+        confidences.len(),
+        "factor buffer does not match confidence vector"
+    );
+    for (slot, &c) in out.iter_mut().zip(confidences) {
+        *slot = 1.0 - params.indicator.apply(c);
+    }
 }
 
 impl RelationMatrix {
@@ -335,20 +365,54 @@ impl RelationMatrix {
     /// # Panics
     /// Panics when `confidences` does not have one entry per FD.
     pub fn score_all(&self, confidences: &[f64], params: &DetectParams) -> PairScores {
+        let mut factors = vec![0.0; self.n_fds];
+        let mut out = PairScores::zeroed(self.pairs.len());
+        self.score_all_into(confidences, params, &mut factors, &mut out);
+        out
+    }
+
+    /// Allocation-free [`RelationMatrix::score_all`]: refills caller-owned
+    /// scratch (`factors` one slot per FD, `out` sized by
+    /// [`PairScores::zeroed`]) instead of allocating per call, so a round
+    /// loop pays zero heap traffic after the first iteration. Bit-identical
+    /// to `score_all`: same factors, same ascending-FD fold, same entropy.
+    ///
+    /// # Panics
+    /// Panics when `confidences` or `factors` do not have one entry per FD,
+    /// or `out` is not sized to the pair count.
+    pub fn score_all_into(
+        &self,
+        confidences: &[f64],
+        params: &DetectParams,
+        factors: &mut [f64],
+        out: &mut PairScores,
+    ) {
         assert_eq!(
             confidences.len(),
             self.n_fds,
             "confidence vector does not match hypothesis space"
         );
-        let factors = violation_factors(confidences, params);
-        let mut dirty = Vec::with_capacity(self.pairs.len());
-        let mut entropy = Vec::with_capacity(self.pairs.len());
+        assert_eq!(
+            factors.len(),
+            self.n_fds,
+            "factor buffer does not match hypothesis space"
+        );
+        assert_eq!(
+            out.dirty.len(),
+            self.pairs.len(),
+            "score buffer does not match pair count"
+        );
+        assert_eq!(
+            out.entropy.len(),
+            self.pairs.len(),
+            "score buffer does not match pair count"
+        );
+        violation_factors_into(confidences, params, factors);
         for pid in 0..self.pairs.len() {
-            let p = self.dirty_prob_with_factors(pid, &factors, params);
-            dirty.push(p);
-            entropy.push(binary_entropy(p));
+            let p = self.dirty_prob_with_factors(pid, factors, params);
+            out.dirty[pid] = p;
+            out.entropy[pid] = binary_entropy(p);
         }
-        PairScores { dirty, entropy }
     }
 
     /// Debug-build invariant: every stored relation equals the raw-cell
@@ -431,6 +495,47 @@ mod tests {
                 assert_eq!(scores.entropy[pid], binary_entropy(pa));
             }
         }
+    }
+
+    #[test]
+    fn score_all_into_is_bit_identical_and_reusable() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        // Scratch allocated once, reused across rounds with changing
+        // confidences — every round must match the allocating path bit
+        // for bit, including stale-value overwrites.
+        let mut factors = vec![0.0; sp.len()];
+        let mut scores = PairScores::zeroed(pairs.len());
+        for round in 0..3 {
+            let shift = f64::from(round) * 0.17;
+            let conf = [0.96 - shift, 0.55 + shift];
+            for params in [DetectParams::unsmoothed(), DetectParams::default()] {
+                m.score_all_into(&conf, &params, &mut factors, &mut scores);
+                assert_eq!(scores, m.score_all(&conf, &params), "round {round}");
+                assert_eq!(factors, violation_factors(&conf, &params), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "score buffer does not match pair count")]
+    fn score_all_into_rejects_missized_scratch() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        let mut factors = vec![0.0; sp.len()];
+        let mut scores = PairScores::zeroed(pairs.len() - 1);
+        m.score_all_into(
+            &[0.5, 0.5],
+            &DetectParams::default(),
+            &mut factors,
+            &mut scores,
+        );
     }
 
     #[test]

@@ -1,13 +1,13 @@
 //! The `et-lint.toml` allowlist: vetted exceptions to the L-rules, plus the
-//! graph-rule configuration (entry points and taint sources).
+//! graph-rule configuration (entry points, taint sources, hot roots).
 //!
-//! The file is a sequence of `[[allow]]`, `[[entry]]`, and `[[source]]`
-//! tables; only the TOML subset below is parsed (std-only, no TOML
-//! dependency):
+//! The file is a sequence of `[[allow]]`, `[[entry]]`, `[[source]]`, and
+//! `[[hot]]` tables; only the TOML subset below is parsed (std-only, no
+//! TOML dependency):
 //!
 //! ```toml
 //! [[allow]]
-//! rule = "L1"                       # required: any rule id, L1..L11
+//! rule = "L1"                       # required: any rule id, L1..L14
 //! path = "crates/et-data/src/x.rs"  # required: repo-relative, '/'-separated
 //! pattern = "best.expect"           # optional: substring of offending line
 //! line = 76                         # optional: exact 1-based line
@@ -23,22 +23,26 @@
 //! pattern = "Instant::now"          # substring of rendered call text, or
 //!                                   # the special token "hash-iter"
 //! note = "wall clock"               # optional
+//!
+//! [[hot]]                           # L12-L14 hot-path root (no rule key:
+//! pattern = "RelationMatrix::score" # one root feeds all three cost rules)
+//! note = "per-round scoring loop"   # optional
 //! ```
 //!
 //! An `[[allow]]` entry matches a violation when the rule matches, the
 //! violation's path ends with `path`, and every provided narrowing field
 //! matches. Unused entries are reported so the allowlist cannot rot
 //! silently (with a nearest-path suggestion when the path looks moved).
-//! `[[entry]]`/`[[source]]` tables configure rules rather than suppress
-//! findings, so they are exempt from staleness tracking; without any of
-//! them the graph rules are vacuous.
+//! `[[entry]]`/`[[source]]`/`[[hot]]` tables configure rules rather than
+//! suppress findings, so they are exempt from staleness tracking; without
+//! any of them the graph rules are vacuous.
 
 use crate::rules::Violation;
 
 /// One `[[allow]]` entry.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
-    /// Rule id the exception applies to ("L1".."L4").
+    /// Rule id the exception applies to ("L1".."L14").
     pub rule: String,
     /// Repo-relative path suffix.
     pub path: String,
@@ -63,6 +67,20 @@ pub struct GraphSpec {
     pub note: Option<String>,
 }
 
+/// One `[[hot]]` table: a hot-path root for the cost rules. A single root
+/// feeds L12, L13, and L14 alike, so the table carries no `rule` key.
+#[derive(Debug, Clone)]
+pub struct HotRoot {
+    /// Substring pattern matched against qualified fn names (same
+    /// semantics as `[[entry]]` patterns).
+    pub pattern: String,
+    /// Optional annotation; surfaced in `HOTPATH.json`.
+    pub note: Option<String>,
+    /// 1-based line of the `[[hot]]` header in `et-lint.toml`, so a stale
+    /// pattern can be reported at its declaration site.
+    pub line: usize,
+}
+
 /// The parsed allowlist.
 #[derive(Debug, Default)]
 pub struct Allowlist {
@@ -72,6 +90,8 @@ pub struct Allowlist {
     pub graph_entries: Vec<GraphSpec>,
     /// All `[[source]]` taint sources in file order.
     pub graph_sources: Vec<GraphSpec>,
+    /// All `[[hot]]` cost-rule roots in file order.
+    pub hot_roots: Vec<HotRoot>,
 }
 
 /// A parse failure with its line number.
@@ -95,6 +115,7 @@ enum TableKind {
     Allow,
     Entry,
     Source,
+    Hot,
 }
 
 impl Allowlist {
@@ -113,6 +134,7 @@ impl Allowlist {
                 "[[allow]]" => Some(TableKind::Allow),
                 "[[entry]]" => Some(TableKind::Entry),
                 "[[source]]" => Some(TableKind::Source),
+                "[[hot]]" => Some(TableKind::Hot),
                 _ => None,
             };
             if let Some(kind) = header {
@@ -131,7 +153,7 @@ impl Allowlist {
             let Some((_, kind, partial)) = current.as_mut() else {
                 return Err(AllowlistError {
                     line: line_no,
-                    message: "key outside any [[allow]]/[[entry]]/[[source]] table".into(),
+                    message: "key outside any [[allow]]/[[entry]]/[[source]]/[[hot]] table".into(),
                 });
             };
             partial.set(*kind, key.trim(), value.trim(), line_no)?;
@@ -154,6 +176,7 @@ impl Allowlist {
                 .graph_entries
                 .push(partial.finish_spec(at, &["L9", "L11"])?),
             TableKind::Source => self.graph_sources.push(partial.finish_spec(at, &["L11"])?),
+            TableKind::Hot => self.hot_roots.push(partial.finish_hot(at)?),
         }
         Ok(())
     }
@@ -219,7 +242,7 @@ impl PartialEntry {
             message,
         };
         match key {
-            "rule" => {
+            "rule" if kind != TableKind::Hot => {
                 let v = unquote(value).ok_or_else(|| err("rule must be a string".into()))?;
                 if crate::rules::Rule::from_id(&v).is_none() {
                     return Err(err(format!("unknown rule `{v}`")));
@@ -292,6 +315,24 @@ impl PartialEntry {
             rule,
             pattern,
             note: self.note,
+        })
+    }
+
+    fn finish_hot(self, table_line: usize) -> Result<HotRoot, AllowlistError> {
+        let err = |message: &str| AllowlistError {
+            line: table_line,
+            message: message.into(),
+        };
+        let pattern = self
+            .pattern
+            .ok_or_else(|| err("[[hot]] table missing `pattern`"))?;
+        if pattern.trim().is_empty() {
+            return Err(err("[[hot]] pattern must not be empty"));
+        }
+        Ok(HotRoot {
+            pattern,
+            note: self.note,
+            line: table_line,
         })
     }
 }
@@ -390,7 +431,7 @@ reason = "doc inherited from trait"
 
     #[test]
     fn rejects_malformed_entries() {
-        assert!(Allowlist::parse("[[allow]]\nrule = \"L12\"\n").is_err());
+        assert!(Allowlist::parse("[[allow]]\nrule = \"L99\"\n").is_err());
         assert!(
             Allowlist::parse("[[allow]]\nrule = \"L1\"\n").is_err(),
             "missing path/reason"
@@ -472,6 +513,37 @@ pattern = "Instant::now"
             "[[allow]]\nrule = \"L1\"\npath = \"x\"\nreason = \"y\"\nnote = \"z\"\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn parses_hot_tables() {
+        let text = r#"
+[[hot]]
+pattern = "RelationMatrix::score_all"
+note = "per-round scoring loop"
+
+[[hot]]
+pattern = "SessionState::apply_labels"
+"#;
+        let list = Allowlist::parse(text).expect("parses");
+        assert_eq!(list.hot_roots.len(), 2);
+        assert_eq!(list.hot_roots[0].pattern, "RelationMatrix::score_all");
+        assert_eq!(
+            list.hot_roots[0].note.as_deref(),
+            Some("per-round scoring loop")
+        );
+        assert!(list.hot_roots[1].note.is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_hot_tables() {
+        // pattern is mandatory and non-empty.
+        assert!(Allowlist::parse("[[hot]]\nnote = \"x\"\n").is_err());
+        assert!(Allowlist::parse("[[hot]]\npattern = \"\"\n").is_err());
+        // A hot root feeds all three cost rules: a `rule` key is an error.
+        assert!(Allowlist::parse("[[hot]]\nrule = \"L12\"\npattern = \"x\"\n").is_err());
+        // Allow-only keys are rejected.
+        assert!(Allowlist::parse("[[hot]]\npattern = \"x\"\nreason = \"y\"\n").is_err());
     }
 
     #[test]

@@ -34,7 +34,23 @@
 
 use std::collections::BTreeMap;
 
-use crate::parser::{Callee, FileAst, FnItem};
+use crate::parser::{Callee, CostKind, FileAst, FnItem};
+
+/// Cost-closure bit: a heap allocation is contained or reachable.
+pub const COST_ALLOC: u8 = 1;
+/// Cost-closure bit: a lock acquisition or blocking call is reachable.
+pub const COST_LOCK: u8 = 2;
+/// Cost-closure bit: I/O or a syscall is reachable.
+pub const COST_IO: u8 = 4;
+
+/// The closure bit for one [`CostKind`].
+pub fn cost_bit(kind: CostKind) -> u8 {
+    match kind {
+        CostKind::Alloc => COST_ALLOC,
+        CostKind::Lock => COST_LOCK,
+        CostKind::Io => COST_IO,
+    }
+}
 
 /// Method names too common to resolve by name alone: nearly all collide
 /// with `std` types, so a name-only edge would be noise. Calls to these
@@ -239,6 +255,52 @@ impl CallGraph {
             frontier = next;
         }
         parent
+    }
+
+    /// Per-node transitive cost masks (`COST_ALLOC | COST_LOCK | COST_IO`):
+    /// bit set when the node itself contains a cost-bearing operation of
+    /// that class or can reach one over resolved edges. Computed as a
+    /// reverse-reachability fixpoint — callers inherit callee bits until
+    /// nothing changes — so the cost rules can skip whole hot roots whose
+    /// mask is clean without walking them. Test fns neither carry nor
+    /// propagate cost (mirroring [`Self::reach`]'s traversal policy).
+    pub fn cost_closure(&self) -> Vec<u8> {
+        let n = self.nodes.len();
+        let mut mask: Vec<u8> = self
+            .nodes
+            .iter()
+            .map(|node| {
+                if node.item.is_test {
+                    0
+                } else {
+                    node.item
+                        .costs
+                        .iter()
+                        .fold(0u8, |m, c| m | cost_bit(c.kind))
+                }
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for id in 0..n {
+                if self.nodes[id].item.is_test {
+                    continue;
+                }
+                let mut m = mask[id];
+                for e in &self.edges[id] {
+                    if self.nodes[e.callee].item.is_test {
+                        continue;
+                    }
+                    m |= mask[e.callee];
+                }
+                if m != mask[id] {
+                    mask[id] = m;
+                    changed = true;
+                }
+            }
+        }
+        mask
     }
 
     /// The witness chain from an entry down to `target`, rendered as
@@ -583,6 +645,39 @@ mod tests {
             !reached.contains(&"a::tests::support".to_string()),
             "test fn must not be traversed: {reached:?}"
         );
+    }
+
+    #[test]
+    fn cost_closure_propagates_to_callers_only() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn hot() { helper(); }
+            fn helper() { let s = format!("x"); }
+            fn cold() -> u32 { 7 }
+            "#,
+        )]);
+        let mask = g.cost_closure();
+        assert_eq!(mask[id_of(&g, "a::helper")], COST_ALLOC, "direct op");
+        assert_eq!(mask[id_of(&g, "a::hot")], COST_ALLOC, "inherited");
+        assert_eq!(mask[id_of(&g, "a::cold")], 0, "unrelated fn stays clean");
+    }
+
+    #[test]
+    fn cost_closure_ignores_test_fns() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            r#"
+            pub fn hot() {}
+            #[cfg(test)]
+            mod tests {
+                fn noisy() { println!("only in tests"); }
+            }
+            "#,
+        )]);
+        let mask = g.cost_closure();
+        assert_eq!(mask[id_of(&g, "a::hot")], 0);
+        assert_eq!(mask[id_of(&g, "a::tests::noisy")], 0);
     }
 
     #[test]

@@ -1,16 +1,23 @@
-//! Machine-readable report output (`cargo lint -- --json`).
+//! Machine-readable report output (`cargo lint -- --json` and
+//! `--cost-report`).
 //!
 //! Hand-rolled serialization: the workspace is std-only, the schema is
 //! small, and every value is either a count, a bool, or a string we escape
-//! ourselves. The schema is documented in DESIGN.md §12 and is versioned —
-//! consumers should reject a `version` they don't know.
+//! ourselves. The schema is documented in DESIGN.md §12/§14 and is
+//! versioned — consumers should reject a `version` they don't know.
+//! Schema v2 added the L12–L14 findings (no structural change — findings
+//! are findings) and the `cost_report` block mirroring `HOTPATH.json`.
 
 use std::path::Path;
 
+use crate::cost_rules::HotRootStat;
 use crate::Report;
 
-/// Schema version emitted in every document.
-pub const SCHEMA_VERSION: u32 = 1;
+/// Schema version emitted in every `--json` document.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// Schema tag emitted in every `HOTPATH.json` document.
+pub const HOTPATH_SCHEMA: &str = "et-lint/hotpath-v1";
 
 /// Renders the report as a single JSON document; returns the exit code
 /// (same contract as [`crate::render`]: 0 clean, 1 findings or stale
@@ -85,6 +92,17 @@ pub fn render_json(report: &Report, allowlist_path: &Path, out: &mut impl std::i
         "\n  ],\n"
     });
 
+    s.push_str("  \"cost_report\": [");
+    for (i, stat) in report.hot_roots.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        push_hot_root(&mut s, 2, stat);
+    }
+    s.push_str(if report.hot_roots.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
     s.push_str(&format!("  \"clean\": {}\n", report.is_clean()));
     s.push_str("}\n");
     let _ = out.write_all(s.as_bytes());
@@ -93,6 +111,91 @@ pub fn render_json(report: &Report, allowlist_path: &Path, out: &mut impl std::i
     } else {
         1
     }
+}
+
+/// Renders the standalone `HOTPATH.json` document (`--cost-report`): the
+/// per-hot-root cost aggregates, nothing else. Deterministic — no
+/// timestamps, no environment — so ci.sh can regenerate and byte-diff it
+/// against the checked-in baseline.
+pub fn render_hotpath(report: &Report, out: &mut impl std::io::Write) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": {},\n", quote(HOTPATH_SCHEMA)));
+    s.push_str("  \"hot_roots\": [");
+    for (i, stat) in report.hot_roots.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        push_hot_root(&mut s, 2, stat);
+    }
+    s.push_str(if report.hot_roots.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    s.push_str("}\n");
+    let _ = out.write_all(s.as_bytes());
+}
+
+/// Appends one hot-root aggregate object (shared by `--json`'s
+/// `cost_report` block and `HOTPATH.json`).
+fn push_hot_root(s: &mut String, indent: usize, stat: &HotRootStat) {
+    let pad = "  ".repeat(indent);
+    s.push_str(&pad);
+    s.push_str("{\n");
+    let field = |s: &mut String, body: String, comma: bool| {
+        s.push_str(&pad);
+        s.push_str("  ");
+        s.push_str(&body);
+        s.push_str(if comma { ",\n" } else { "\n" });
+    };
+    field(s, format!("\"pattern\": {}", quote(&stat.pattern)), true);
+    let note = stat
+        .note
+        .as_deref()
+        .map_or_else(|| "null".to_string(), quote);
+    field(s, format!("\"note\": {note}"), true);
+    let roots: Vec<String> = stat.roots.iter().map(|r| quote(r)).collect();
+    field(s, format!("\"roots\": [{}]", roots.join(", ")), true);
+    field(
+        s,
+        format!("\"reachable_fns\": {}", stat.reachable_fns),
+        true,
+    );
+    field(
+        s,
+        format!(
+            "\"cost_sites\": {{\"alloc\": {}, \"lock\": {}, \"io\": {}}}",
+            stat.alloc_sites, stat.lock_sites, stat.io_sites
+        ),
+        true,
+    );
+    field(
+        s,
+        format!("\"witness_depth\": {}", stat.witness_depth),
+        true,
+    );
+    s.push_str(&pad);
+    s.push_str("  \"vetted\": [");
+    for (i, v) in stat.vetted.iter().enumerate() {
+        s.push_str(if i == 0 { "\n" } else { ",\n" });
+        s.push_str(&pad);
+        s.push_str(&format!(
+            "    {{\"kind\": {}, \"path\": {}, \"line\": {}, \"what\": {}, \"bound\": {}}}",
+            quote(v.kind.key()),
+            quote(&v.path),
+            v.line,
+            quote(&v.what),
+            quote(&v.bound)
+        ));
+    }
+    if stat.vetted.is_empty() {
+        s.push_str("]\n");
+    } else {
+        s.push('\n');
+        s.push_str(&pad);
+        s.push_str("  ]\n");
+    }
+    s.push_str(&pad);
+    s.push('}');
 }
 
 /// Appends `"key": value,\n` (value unquoted — numbers only).
@@ -132,6 +235,8 @@ fn quote(raw: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost_rules::VettedSite;
+    use crate::parser::CostKind;
     use crate::rules::{Rule, Violation};
     use crate::Finding;
 
@@ -153,6 +258,23 @@ mod tests {
             files_scanned: 5,
             graph_fns: 11,
             unresolved_calls: 4,
+            hot_roots: vec![HotRootStat {
+                pattern: "RelationMatrix::score_all".into(),
+                note: Some("per-round scoring loop".into()),
+                roots: vec!["et_fd::relmatrix::RelationMatrix::score_all".into()],
+                reachable_fns: 4,
+                alloc_sites: 1,
+                lock_sites: 0,
+                io_sites: 0,
+                vetted: vec![VettedSite {
+                    kind: CostKind::Alloc,
+                    path: "crates/et-fd/src/relmatrix.rs".into(),
+                    line: 42,
+                    what: "Vec::with_capacity".into(),
+                    bound: "bounded: one-time setup".into(),
+                }],
+                witness_depth: 2,
+            }],
         }
     }
 
@@ -163,7 +285,7 @@ mod tests {
         assert_eq!(code, 1);
         let doc = String::from_utf8(sink).expect("utf8");
         for needle in [
-            "\"version\": 1,",
+            "\"version\": 2,",
             "\"files_scanned\": 5,",
             "\"graph_fns\": 11,",
             "\"unresolved_calls\": 4,",
@@ -172,10 +294,43 @@ mod tests {
             "\"message\": \"panic \\\"reachable\\\"\"",
             "\"witness\": [\"a::entry (crates/a/src/x.rs:1)\"]",
             "{\"index\": 4, \"suggestion\": \"crates/a/src/moved.rs\"}",
+            "\"pattern\": \"RelationMatrix::score_all\"",
+            "\"cost_sites\": {\"alloc\": 1, \"lock\": 0, \"io\": 0}",
+            "\"bound\": \"bounded: one-time setup\"",
             "\"clean\": false",
         ] {
             assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
         }
+    }
+
+    #[test]
+    fn hotpath_document_is_self_contained() {
+        let mut sink = Vec::new();
+        render_hotpath(&sample(), &mut sink);
+        let doc = String::from_utf8(sink).expect("utf8");
+        for needle in [
+            "\"schema\": \"et-lint/hotpath-v1\"",
+            "\"pattern\": \"RelationMatrix::score_all\"",
+            "\"note\": \"per-round scoring loop\"",
+            "\"roots\": [\"et_fd::relmatrix::RelationMatrix::score_all\"]",
+            "\"reachable_fns\": 4",
+            "\"witness_depth\": 2",
+            "\"kind\": \"alloc\"",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+        assert!(
+            !doc.contains("findings"),
+            "the cost report carries no findings: {doc}"
+        );
+    }
+
+    #[test]
+    fn hotpath_without_roots_is_minimal() {
+        let mut sink = Vec::new();
+        render_hotpath(&Report::default(), &mut sink);
+        let doc = String::from_utf8(sink).expect("utf8");
+        assert!(doc.contains("\"hot_roots\": []"), "{doc}");
     }
 
     #[test]

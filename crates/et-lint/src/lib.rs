@@ -4,8 +4,8 @@
 //! Proposition 1, g1 violation measures, Beta-belief updates — are floating-
 //! point and RNG-sensitive: a silent NaN, an unseeded RNG, or a stray
 //! `unwrap()` corrupts a figure rather than crashing a test. This crate
-//! walks every workspace `.rs` source and enforces eleven rules the
-//! compiler cannot express, in three tiers:
+//! walks every workspace `.rs` source and enforces fourteen rules the
+//! compiler cannot express, in four tiers:
 //!
 //! - **L1–L4** (line/mask scans, [`rules`]) — no `unwrap()`/`expect()`/
 //!   `panic!` in library code; no unseeded RNG anywhere; no f64 `==`/`!=`
@@ -17,14 +17,19 @@
 //!   call graph ([`parser`] + [`callgraph`]): no panic-capable op
 //!   reachable from public entry points, no lock-order cycles, no
 //!   nondeterminism source reachable from session entry points.
+//! - **L12–L14** (hot-path cost model, [`cost_rules`]) — no allocation,
+//!   lock/blocking call, or I/O reachable from a declared `[[hot]]` root;
+//!   per-root cost aggregates feed the `--cost-report` emitter
+//!   ([`json_out::render_hotpath`]) and the checked-in `HOTPATH.json`.
 //!
-//! Vetted exceptions and graph entry/source declarations live in
+//! Vetted exceptions and graph entry/source/hot declarations live in
 //! `et-lint.toml` at the repo root (see [`allowlist`]). Exit codes:
 //! 0 clean, 1 violations, 2 configuration/IO error.
 
 pub mod allowlist;
 pub mod callgraph;
 pub mod conc_rules;
+pub mod cost_rules;
 pub mod graph_rules;
 pub mod json_out;
 pub mod lexer;
@@ -44,7 +49,7 @@ pub struct Finding {
     pub path: String,
     /// The underlying rule violation.
     pub violation: Violation,
-    /// For graph rules (L9–L11): the witness call chain, entry first.
+    /// For graph rules (L9–L14): the witness call chain, entry first.
     /// Empty for the per-file rules L1–L8.
     pub witness: Vec<String>,
 }
@@ -68,6 +73,9 @@ pub struct Report {
     pub graph_fns: usize,
     /// Call sites the graph declined to resolve (see `callgraph`).
     pub unresolved_calls: usize,
+    /// Per-`[[hot]]`-root cost aggregates (see [`cost_rules`]); the
+    /// substrate of `--cost-report` and the `--json` cost block.
+    pub hot_roots: Vec<cost_rules::HotRootStat>,
 }
 
 impl Report {
@@ -213,13 +221,18 @@ pub fn run(root: &Path) -> Result<Report, EngineError> {
     }
 
     // Interprocedural stage: link the workspace call graph from library
-    // files and run L9–L11 over it.
+    // files and run L9–L11 over it, then the hot-path cost tier L12–L14.
     let graph = callgraph::CallGraph::link(&parsed);
     report.graph_fns = graph.nodes.len();
     report.unresolved_calls = graph.unresolved_count;
     for gf in graph_rules::check(&graph, &allowlist) {
         record(&mut report, &gf.path, gf.violation, gf.witness);
     }
+    let (cost_findings, hot_stats) = cost_rules::check(&graph, &allowlist);
+    for gf in cost_findings {
+        record(&mut report, &gf.path, gf.violation, gf.witness);
+    }
+    report.hot_roots = hot_stats;
 
     report.stale_allows = used
         .iter()

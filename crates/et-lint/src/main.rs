@@ -10,6 +10,7 @@ fn main() {
 fn real_main() -> i32 {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
+    let mut cost_report = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,9 +21,12 @@ fn real_main() -> i32 {
             "--json" => {
                 json = true;
             }
+            "--cost-report" => {
+                cost_report = true;
+            }
             "--explain" => {
                 let Some(id) = args.next() else {
-                    eprintln!("et-lint: --explain needs a rule id (L1..L11)");
+                    eprintln!("et-lint: --explain needs a rule id (L1..L14)");
                     return 2;
                 };
                 let Some(rule) = et_lint::rules::Rule::from_id(&id) else {
@@ -41,14 +45,16 @@ fn real_main() -> i32 {
             }
             "--help" | "-h" => {
                 println!(
-                    "et-lint — workspace lint engine (rules L1-L11)\n\n\
+                    "et-lint — workspace lint engine (rules L1-L14)\n\n\
                      USAGE: et-lint [--root <workspace-dir>] [--json] \
-                     [--list-rules] [--explain <RULE>]\n\n\
+                     [--cost-report] [--list-rules] [--explain <RULE>]\n\n\
                      --list-rules      one-line summary of every rule\n\
                      --explain L<N>    full rationale and the vetted-exception \
                      format for one rule\n\
                      --json            machine-readable report on stdout \
-                     (schema in DESIGN.md §12)\n\n\
+                     (schema in DESIGN.md §12)\n\
+                     --cost-report     hot-path cost summary (HOTPATH.json \
+                     schema, DESIGN.md §14) on stdout\n\n\
                      Exit codes: 0 clean, 1 violations or stale allowlist \
                      entries, 2 configuration error.\n\
                      Allowlist: et-lint.toml at the workspace root."
@@ -72,7 +78,10 @@ fn real_main() -> i32 {
     match et_lint::run(&root) {
         Ok(report) => {
             let allow = root.join("et-lint.toml");
-            if json {
+            if cost_report {
+                et_lint::json_out::render_hotpath(&report, &mut std::io::stdout());
+                i32::from(!report.is_clean())
+            } else if json {
                 et_lint::json_out::render_json(&report, &allow, &mut std::io::stdout())
             } else {
                 et_lint::render(&report, &allow, &mut std::io::stdout())

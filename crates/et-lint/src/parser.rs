@@ -1,5 +1,5 @@
 //! A std-only recursive-descent *item* parser on top of [`crate::lexer`]:
-//! the substrate for the interprocedural rules L9–L11.
+//! the substrate for the interprocedural rules L9–L14.
 //!
 //! The parser extracts exactly what the workspace call graph needs and
 //! nothing more: modules, `fn` items (with visibility, parameters, and the
@@ -7,7 +7,8 @@
 //! best-effort receiver hint, path/bare calls, with the first argument's
 //! field hint for lock-gateway attribution), panic-capable operations
 //! (panic-family macros, `.unwrap()`/`.expect(`, index/slice expressions),
-//! and `use` imports for bare-call expansion. `#[cfg(test)]` / `#[test]`
+//! cost-bearing operations (allocation, lock/blocking, and I/O call sites,
+//! for the hot-path tier), and `use` imports for bare-call expansion. `#[cfg(test)]` / `#[test]`
 //! items are parsed but marked, so graph rules can skip them.
 //!
 //! Out of scope, deliberately: macro expansion, type inference, trait
@@ -132,6 +133,55 @@ pub struct PanicOp {
     pub line_text: String,
 }
 
+/// Which cost class a cost-bearing operation belongs to (the tier-4
+/// rules L12/L13/L14 map onto these one-to-one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostKind {
+    /// Heap allocation or growth (`Vec::new`, `vec!`, `format!`,
+    /// `collect`, `clone`, push-family methods).
+    Alloc,
+    /// Lock acquisition (`.lock()`, `.read()`/`.write()` on lock-ish
+    /// receivers) or a blocking call (`recv`, `join`, `sleep`, …).
+    Lock,
+    /// I/O or a syscall (`std::fs`/`std::net`/`std::io`, print-family
+    /// macros, `sync_all`, `thread::spawn`).
+    Io,
+}
+
+impl CostKind {
+    /// Short label used in messages and the cost report.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostKind::Alloc => "heap allocation",
+            CostKind::Lock => "lock/blocking call",
+            CostKind::Io => "I/O or syscall",
+        }
+    }
+
+    /// The JSON key used in `HOTPATH.json` per-root counters.
+    pub fn key(self) -> &'static str {
+        match self {
+            CostKind::Alloc => "alloc",
+            CostKind::Lock => "lock",
+            CostKind::Io => "io",
+        }
+    }
+}
+
+/// One cost-bearing operation inside a function body (before looking at
+/// callees; reachability is the cost rules' job).
+#[derive(Debug, Clone)]
+pub struct CostOp {
+    /// Which cost class.
+    pub kind: CostKind,
+    /// Offending operation text (`format!`, `collect`, `Vec::new`).
+    pub what: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Trimmed source line text.
+    pub line_text: String,
+}
+
 /// One parsed function item.
 #[derive(Debug, Clone, Default)]
 pub struct FnItem {
@@ -157,6 +207,9 @@ pub struct FnItem {
     pub calls: Vec<CallSite>,
     /// Panic-capable operations in source order.
     pub panics: Vec<PanicOp>,
+    /// Cost-bearing operations in source order (allocation, lock/blocking,
+    /// I/O), consumed by the L12–L14 hot-path rules.
+    pub costs: Vec<CostOp>,
     /// Line of the first unsorted hash-container iteration in the body
     /// (a `HashMap`/`HashSet` mention + an `iter`/`keys`/`values`/`drain`
     /// method call + no `sort*` call anywhere in the body), if any: the
@@ -190,6 +243,80 @@ const PANIC_MACROS: [&str; 7] = [
     "unreachable",
     "todo",
     "unimplemented",
+];
+
+/// Macros that allocate (`vec![…]`, `format!(…)`).
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+
+/// Macros that perform I/O (print family; `write!`/`writeln!` target a
+/// writer, which in hot paths is never a plain in-memory buffer worth
+/// distinguishing lexically).
+const IO_MACROS: [&str; 7] = [
+    "println", "eprintln", "print", "eprint", "write", "writeln", "dbg",
+];
+
+/// Method names that allocate or grow a heap container. Amortized-O(1)
+/// growth (`push`/`extend`/`insert`) counts: a hot path must run at
+/// steady-state capacity, and a vetted `[[allow]]` states that bound.
+const ALLOC_METHODS: [&str; 16] = [
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "clone",
+    "cloned",
+    "collect",
+    "push",
+    "push_str",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "insert",
+    "resize",
+    "reserve",
+    "repeat",
+    "concat",
+];
+
+/// Method names that block the calling thread (the L5 blocking list plus
+/// waits); classified under [`CostKind::Lock`] for L13.
+const BLOCKING_METHODS: [&str; 9] = [
+    "recv",
+    "recv_timeout",
+    "accept",
+    "read_line",
+    "join",
+    "connect",
+    "wait",
+    "wait_timeout",
+    "park",
+];
+
+/// Method names that perform I/O on their receiver.
+const IO_METHODS: [&str; 8] = [
+    "sync_all",
+    "sync_data",
+    "flush",
+    "write_all",
+    "read_to_string",
+    "read_to_end",
+    "read_exact",
+    "spawn",
+];
+
+/// Path-call type heads whose constructor-family calls allocate.
+const ALLOC_PATH_TYPES: [&str; 6] = ["Vec", "Box", "String", "VecDeque", "Rc", "Arc"];
+
+/// Path heads that mean I/O or a syscall.
+const IO_PATH_HEADS: [&str; 9] = [
+    "fs",
+    "net",
+    "io",
+    "File",
+    "OpenOptions",
+    "TcpStream",
+    "TcpListener",
+    "UdpSocket",
+    "Command",
 ];
 
 /// Method names treated as hash-container iteration starters.
@@ -540,6 +667,7 @@ impl<'a, 'b> Parser<'a, 'b> {
             params: self.fn_params(name_tok, fn_depth),
             calls: Vec::new(),
             panics: Vec::new(),
+            costs: Vec::new(),
             hash_iter_line: None,
         };
         let idx = self.fns.len();
@@ -758,9 +886,13 @@ impl<'a, 'b> Parser<'a, 'b> {
 
         // Macro invocation `name!(…)` / `name![…]` / `name!{…}`.
         if self.ts.text(next) == "!" && next_is_open(self.ts, next) {
+            let line = self.ts.tokens[i].line;
             if PANIC_MACROS.contains(&text.as_str()) {
-                let line = self.ts.tokens[i].line;
                 self.push_panic(fn_idx, PanicKind::Macro, &format!("{text}!"), line);
+            } else if ALLOC_MACROS.contains(&text.as_str()) {
+                self.push_cost(fn_idx, CostKind::Alloc, &format!("{text}!"), line);
+            } else if IO_MACROS.contains(&text.as_str()) {
+                self.push_cost(fn_idx, CostKind::Io, &format!("{text}!"), line);
             }
             return i + 1;
         }
@@ -797,12 +929,85 @@ impl<'a, 'b> Parser<'a, 'b> {
                 self.hash_state(fn_idx).sorted = true;
             }
             let recv = self.receiver(i);
+            self.method_cost(fn_idx, &text, &recv, line);
             self.push_call(fn_idx, Callee::Method { name: text, recv }, i, next, line);
         } else {
             let segments = self.path_segments(i);
+            self.path_cost(fn_idx, &segments, line);
             self.push_call(fn_idx, Callee::Path { segments }, i, next, line);
         }
         i + 1
+    }
+
+    /// Classifies a method call's cost class, if any, and records it.
+    /// `.read()`/`.write()` count as lock acquisition only when the
+    /// receiver hint looks like a lock (the L5/L10 attribution heuristic);
+    /// on anything else they are reader/writer calls L14 has no opinion on
+    /// without a receiver type.
+    fn method_cost(&mut self, fn_idx: usize, name: &str, recv: &Recv, line: usize) {
+        let lockish = recv.hint.as_deref().is_some_and(|h| {
+            let h = h.to_ascii_lowercase();
+            h.contains("lock") || h.contains("mutex") || h.starts_with("rw")
+        });
+        let kind = if name == "lock"
+            || ((name == "read" || name == "write") && lockish)
+            || BLOCKING_METHODS.contains(&name)
+        {
+            Some(CostKind::Lock)
+        } else if ALLOC_METHODS.contains(&name) {
+            Some(CostKind::Alloc)
+        } else if IO_METHODS.contains(&name) {
+            Some(CostKind::Io)
+        } else {
+            None
+        };
+        if let Some(kind) = kind {
+            self.push_cost(fn_idx, kind, name, line);
+        }
+    }
+
+    /// Classifies a path call's cost class, if any, and records it.
+    fn path_cost(&mut self, fn_idx: usize, segments: &[String], line: usize) {
+        let segs: Vec<&str> = segments.iter().map(String::as_str).collect();
+        let rest: &[&str] = if segs.first() == Some(&"std") {
+            &segs[1..]
+        } else {
+            &segs[..]
+        };
+        if rest.len() < 2 {
+            return;
+        }
+        let (head, last) = (rest[0], rest[rest.len() - 1]);
+        let what = segments.join("::");
+        if head == "thread" {
+            match last {
+                "sleep" | "park" => self.push_cost(fn_idx, CostKind::Lock, &what, line),
+                "spawn" => self.push_cost(fn_idx, CostKind::Io, &what, line),
+                _ => {}
+            }
+            return;
+        }
+        if ALLOC_PATH_TYPES.contains(&head)
+            && matches!(
+                last,
+                "new" | "with_capacity" | "from" | "from_iter" | "from_elem"
+            )
+        {
+            self.push_cost(fn_idx, CostKind::Alloc, &what, line);
+            return;
+        }
+        if IO_PATH_HEADS.contains(&head) {
+            self.push_cost(fn_idx, CostKind::Io, &what, line);
+        }
+    }
+
+    fn push_cost(&mut self, fn_idx: usize, kind: CostKind, what: &str, line: usize) {
+        self.fns[fn_idx].costs.push(CostOp {
+            kind,
+            what: what.to_string(),
+            line,
+            line_text: excerpt(self.ts.source, line),
+        });
     }
 
     fn push_panic(&mut self, fn_idx: usize, kind: PanicKind, what: &str, line: usize) {
@@ -1405,5 +1610,100 @@ mod tests {
         assert!(!ast.imports.contains_key("*"), "globs are dropped");
         let new_call = &ast.fns[0].calls[0];
         assert_eq!(new_call.callee.render(), "std::collections::HashMap::new");
+    }
+
+    fn cost_kinds(f: &FnItem) -> Vec<(CostKind, &str)> {
+        f.costs.iter().map(|c| (c.kind, c.what.as_str())).collect()
+    }
+
+    #[test]
+    fn alloc_ops_are_tagged() {
+        let src = r#"
+            fn f(xs: &[u64]) -> Vec<u64> {
+                let mut v = Vec::with_capacity(xs.len());
+                let s = format!("{}", xs.len());
+                let t = xs.to_vec();
+                let c: Vec<u64> = xs.iter().copied().collect();
+                v.push(s.len() as u64);
+                v
+            }
+        "#;
+        let ast = parse(src);
+        let kinds = cost_kinds(&ast.fns[0]);
+        for what in ["Vec::with_capacity", "format!", "to_vec", "collect", "push"] {
+            assert!(
+                kinds.contains(&(CostKind::Alloc, what)),
+                "{what} missing from {kinds:?}"
+            );
+        }
+        assert!(
+            !kinds.iter().any(|(k, _)| *k != CostKind::Alloc),
+            "pure-alloc body must not tag lock/io: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn lock_and_blocking_ops_are_tagged() {
+        let src = r#"
+            fn f(&self) {
+                let g = self.shard_lock.lock();
+                let r = self.state_rwlock.read();
+                let x = self.rx.recv_timeout(ms);
+                std::thread::sleep(ms);
+            }
+            fn reader_is_not_a_lock(&self) {
+                let n = self.file.read(&mut buf);
+            }
+        "#;
+        let ast = parse(src);
+        let kinds = cost_kinds(&ast.fns[0]);
+        for what in ["lock", "read", "recv_timeout", "std::thread::sleep"] {
+            assert!(
+                kinds.contains(&(CostKind::Lock, what)),
+                "{what} missing from {kinds:?}"
+            );
+        }
+        assert!(
+            ast.fns[1].costs.is_empty(),
+            ".read() on a non-lock receiver is not an acquisition"
+        );
+    }
+
+    #[test]
+    fn io_ops_are_tagged() {
+        let src = r#"
+            use std::fs;
+            fn f(path: &str) {
+                let data = fs::read_to_string(path);
+                println!("{}", path.len());
+                file.sync_all();
+                std::thread::spawn(work);
+            }
+        "#;
+        let ast = parse(src);
+        let kinds = cost_kinds(&ast.fns[0]);
+        for what in [
+            "std::fs::read_to_string",
+            "println!",
+            "sync_all",
+            "std::thread::spawn",
+        ] {
+            assert!(
+                kinds.contains(&(CostKind::Io, what)),
+                "{what} missing from {kinds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_free_body_stays_clean() {
+        let src = r#"
+            fn fold(&self, acc: u64, w: u64) -> u64 {
+                let masked = w & self.mask;
+                acc + masked.count_ones() as u64
+            }
+        "#;
+        let ast = parse(src);
+        assert!(ast.fns[0].costs.is_empty(), "{:?}", ast.fns[0].costs);
     }
 }

@@ -1,4 +1,4 @@
-//! The four repo-specific lint rules.
+//! The repo-specific lint rules (L1–L14).
 //!
 //! All rules work on masked source (see [`crate::mask`]): string and comment
 //! contents never trigger tokens. "Test code" means byte regions covered by a
@@ -33,6 +33,13 @@ pub enum Rule {
     /// No nondeterminism source reachable from session scoring/step/replay
     /// entry points (sources and entries in `et-lint.toml`).
     L11,
+    /// No heap allocation reachable from a declared `[[hot]]` root
+    /// (interprocedural cost model; roots in `et-lint.toml`).
+    L12,
+    /// No lock acquisition or blocking call reachable from a `[[hot]]` root.
+    L13,
+    /// No I/O or syscall reachable from a `[[hot]]` root.
+    L14,
 }
 
 impl Rule {
@@ -50,6 +57,9 @@ impl Rule {
             Rule::L9 => "L9",
             Rule::L10 => "L10",
             Rule::L11 => "L11",
+            Rule::L12 => "L12",
+            Rule::L13 => "L13",
+            Rule::L14 => "L14",
         }
     }
 
@@ -79,6 +89,14 @@ impl Rule {
             Rule::L11 => {
                 "no nondeterminism source (wall clock, OS entropy, hash iteration) reachable \
                  from session entry points"
+            }
+            Rule::L12 => {
+                "no heap allocation (Vec::new/vec!/format!/collect/clone/to_vec) reachable \
+                 from a [[hot]] root"
+            }
+            Rule::L13 => "no lock acquisition or blocking call reachable from a [[hot]] root",
+            Rule::L14 => {
+                "no I/O or syscall (std::fs/net/io, println!, spawn) reachable from a [[hot]] root"
             }
         }
     }
@@ -270,11 +288,79 @@ impl Rule {
                  pattern = \"<substring of the offending line>\"\n\
                  reason = \"<why the value cannot reach state>\""
             }
+            Rule::L12 => {
+                "L12 — no heap allocation reachable from a declared hot root.\n\n\
+                 Why: the annotator sits in the loop every round, so round latency\n\
+                 is the product's ceiling. A stray collect()/format!/to_vec in\n\
+                 RelationMatrix::score_all or a strategy fold eats the per-round\n\
+                 budget invisibly until a bench run notices. L12 marks every fn\n\
+                 matching a `[[hot]]` pattern (same substring matching as\n\
+                 `[[entry]]`) as a hot root, walks the resolved call graph, and\n\
+                 fires on every reachable non-test fn containing an allocating\n\
+                 operation (Vec::new/with_capacity/vec!/Box::new/String::from/\n\
+                 format!/to_vec/to_string/clone/collect/push-family growth), with\n\
+                 the witness call chain printed. Hoist temporaries into reusable\n\
+                 scratch buffers owned by the caller instead.\n\n\
+                 [[hot]]\n\
+                 pattern = \"RelationMatrix::score_all\"\n\
+                 note = \"inner scoring loop; ROADMAP item 4 latency ceiling\"\n\n\
+                 Exception: when the allocation is provably one-time setup or\n\
+                 bounded (state the bound — it is surfaced in HOTPATH.json):\n\n\
+                 [[allow]]\n\
+                 rule = \"L12\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the offending line>\"\n\
+                 reason = \"bounded: <the bound, e.g. with_capacity once per session>\""
+            }
+            Rule::L13 => {
+                "L13 — no lock acquisition or blocking call reachable from a\n\
+                 declared hot root.\n\n\
+                 Why: a hot path that takes a Mutex/RwLock — or blocks on\n\
+                 recv/join/sleep — couples round latency to scheduler contention;\n\
+                 the p99 collapses under load with no functional failure. L13\n\
+                 reuses the L5/L10 lock-site extraction (`.lock()`, `.read()`/\n\
+                 `.write()` on lock-ish receivers) plus the blocking-call list,\n\
+                 and fires on every fn reachable from a `[[hot]]` pattern that\n\
+                 acquires or blocks, with the witness chain printed. Hot paths\n\
+                 should be handed owned or immutable-borrowed data instead.\n\n\
+                 [[hot]]\n\
+                 pattern = \"SessionState::apply_labels\"\n\
+                 note = \"label application minus the journal append\"\n\n\
+                 Exception: when the acquisition is provably uncontended or\n\
+                 bounded (state the bound):\n\n\
+                 [[allow]]\n\
+                 rule = \"L13\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the offending line>\"\n\
+                 reason = \"bounded: <why the wait cannot exceed the budget>\""
+            }
+            Rule::L14 => {
+                "L14 — no I/O or syscall reachable from a declared hot root.\n\n\
+                 Why: one transitive println! or fs::write in a scoring loop adds\n\
+                 a syscall (and possibly a flush) per round; a journal fsync in\n\
+                 the wrong place adds milliseconds. I/O belongs at the round\n\
+                 boundary, not inside it. L14 tags std::fs/std::net/std::io\n\
+                 calls, print-family macros, File:: operations, sync_all/fsync\n\
+                 and thread::spawn, and fires on every fn reachable from a\n\
+                 `[[hot]]` pattern that performs one, with the witness chain\n\
+                 printed.\n\n\
+                 [[hot]]\n\
+                 pattern = \"RelationMatrix::score_all\"\n\
+                 note = \"inner scoring loop\"\n\n\
+                 Exception: when the I/O is deliberate and bounded (state the\n\
+                 bound — e.g. an acknowledged write-ahead append the caller\n\
+                 already budgets for):\n\n\
+                 [[allow]]\n\
+                 rule = \"L14\"\n\
+                 path = \"crates/<crate>/src/<file>.rs\"\n\
+                 pattern = \"<substring of the offending line>\"\n\
+                 reason = \"bounded: <why this I/O is part of the contract>\""
+            }
         }
     }
 
     /// All rules, in report order.
-    pub fn all() -> [Rule; 11] {
+    pub fn all() -> [Rule; 14] {
         [
             Rule::L1,
             Rule::L2,
@@ -287,6 +373,9 @@ impl Rule {
             Rule::L9,
             Rule::L10,
             Rule::L11,
+            Rule::L12,
+            Rule::L13,
+            Rule::L14,
         ]
     }
 }
@@ -883,7 +972,7 @@ mod tests {
                 );
             }
         }
-        assert_eq!(Rule::from_id("L12"), None);
+        assert_eq!(Rule::from_id("L15"), None);
         assert_eq!(Rule::from_id(""), None);
     }
 }

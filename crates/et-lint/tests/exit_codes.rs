@@ -248,7 +248,7 @@ fn empty_or_stale_ord_comment_exits_nonzero() {
 #[test]
 fn explain_mode_covers_every_rule_and_rejects_unknown_ids() {
     for id in [
-        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11",
+        "L1", "L2", "L3", "L4", "L5", "L6", "L7", "L8", "L9", "L10", "L11", "L12", "L13", "L14",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
             .args(["--explain", id])
@@ -318,9 +318,10 @@ fn json_flag_emits_schema_with_same_exit_codes() {
     assert_eq!(out.status.code(), Some(1));
     let doc = String::from_utf8_lossy(&out.stdout);
     for needle in [
-        "\"version\": 1,",
+        "\"version\": 2,",
         "\"rule\": \"L1\"",
         "\"witness\": []",
+        "\"cost_report\": []",
         "\"clean\": false",
     ] {
         assert!(doc.contains(needle), "missing {needle} in: {doc}");
@@ -336,6 +337,90 @@ fn json_flag_emits_schema_with_same_exit_codes() {
     assert_eq!(out.status.code(), Some(0));
     let doc = String::from_utf8_lossy(&out.stdout);
     assert!(doc.contains("\"clean\": true"), "{doc}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A malformed `[[hot]]` table (no pattern) is a configuration error:
+/// exit 2 before any scanning.
+#[test]
+fn malformed_hot_table_is_config_error() {
+    let root = scratch(
+        "badhot",
+        &[
+            ("crates/a/src/lib.rs", "//! Fine.\n"),
+            ("et-lint.toml", "[[hot]]\nnote = \"no pattern given\"\n"),
+        ],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
+        .arg("--root")
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("[[hot]]"), "stderr names the table: {err}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A `[[hot]]` pattern matching no function keeps the run dirty (exit 1)
+/// and suggests the nearest real function, so a renamed root cannot
+/// silently drop its budget.
+#[test]
+fn stale_hot_root_suggests_nearest_function() {
+    let root = scratch(
+        "stalehot",
+        &[
+            (
+                "crates/a/src/lib.rs",
+                "//! Fixture.\n                 /// Scoring root.\n                 pub fn score_all(words: &[u64]) -> u64 { words.iter().sum() }\n",
+            ),
+            (
+                "et-lint.toml",
+                "[[hot]]\npattern = \"a::scoer_all\"\n",
+            ),
+        ],
+    );
+    let (code, out) = lint(&root);
+    assert_eq!(code, 1, "stale hot root keeps the run dirty: {out}");
+    assert!(out.contains("matches no function"), "stdout: {out}");
+    assert!(
+        out.contains("did you mean") && out.contains("score_all"),
+        "stdout: {out}"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// `--cost-report` emits the HOTPATH schema document and exits with the
+/// same clean/dirty contract as the normal run.
+#[test]
+fn cost_report_flag_emits_hotpath_schema() {
+    let root = scratch(
+        "costreport",
+        &[
+            (
+                "crates/a/src/lib.rs",
+                "//! Fixture.\n                 /// Scoring root: allocation-free fold.\n                 pub fn score_all(words: &[u64]) -> u64 { words.iter().fold(0, |a, &w| a ^ w) }\n",
+            ),
+            (
+                "et-lint.toml",
+                "[[hot]]\npattern = \"a::score_all\"\n",
+            ),
+        ],
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_et-lint"))
+        .args(["--cost-report", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0));
+    let doc = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "\"schema\": \"et-lint/hotpath-v1\"",
+        "\"pattern\": \"a::score_all\"",
+        "\"cost_sites\": {\"alloc\": 0, \"lock\": 0, \"io\": 0}",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in: {doc}");
+    }
     let _ = std::fs::remove_dir_all(&root);
 }
 

@@ -1,0 +1,16 @@
+//! L12 negative fixture: the hot root's only reachable allocation is a
+//! bounded lane table, vetted in et-lint.toml with a stated bound; the
+//! fold itself writes no heap.
+
+/// The per-round scoring entry (declared `[[hot]]` in et-lint.toml).
+pub fn score_all(words: &[u64]) -> u64 {
+    let lanes = lane_table();
+    words
+        .iter()
+        .enumerate()
+        .fold(0, |acc, (i, &w)| acc ^ (w >> lanes[i % 4]))
+}
+
+fn lane_table() -> Vec<u32> {
+    vec![0, 7, 13, 29]
+}

@@ -1,0 +1,28 @@
+//! L13 negative fixture: the hot root folds a caller-provided snapshot;
+//! the lock acquisition lives outside the hot path and must not fire.
+
+use std::sync::Mutex;
+
+/// Shared cell store guarded by a mutex.
+pub struct Store {
+    cells: Mutex<[u64; 4]>,
+}
+
+/// The per-round scoring entry (declared `[[hot]]` in et-lint.toml):
+/// pure fold over an already-snapshotted slice.
+pub fn score_all(cells: &[u64]) -> u64 {
+    fold(cells)
+}
+
+fn fold(cells: &[u64]) -> u64 {
+    cells.iter().fold(0, |acc, &w| acc ^ (w >> 3))
+}
+
+/// Takes the lock — but outside the hot path (callers snapshot between
+/// rounds, not inside them).
+pub fn snapshot(store: &Store) -> [u64; 4] {
+    match store.cells.lock() {
+        Ok(cells) => *cells,
+        Err(_) => [0; 4],
+    }
+}

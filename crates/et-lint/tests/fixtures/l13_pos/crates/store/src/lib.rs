@@ -1,0 +1,23 @@
+//! L13 positive fixture: the hot scoring root takes a mutex one call
+//! deep — a blocking acquisition on the annotator-facing path.
+
+use std::sync::Mutex;
+
+/// Shared cell store guarded by a mutex.
+pub struct Store {
+    cells: Mutex<[u64; 4]>,
+}
+
+impl Store {
+    /// The per-round scoring entry (declared `[[hot]]` in et-lint.toml).
+    pub fn score_all(&self) -> u64 {
+        self.fold()
+    }
+
+    fn fold(&self) -> u64 {
+        match self.cells.lock() {
+            Ok(cells) => cells.iter().copied().sum(),
+            Err(_) => 0,
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! L14 negative fixture: the hot labeling root's only reachable I/O is
+//! the write-ahead append, vetted in et-lint.toml as the deliberate
+//! durability contract.
+
+/// The labeling step (declared `[[hot]]` in et-lint.toml): write-ahead,
+/// then fold the verdicts.
+pub fn apply_labels(path: &str, labels: &[bool]) -> usize {
+    if !append(path, labels) {
+        return 0;
+    }
+    labels.iter().filter(|&&l| l).count()
+}
+
+fn append(path: &str, labels: &[bool]) -> bool {
+    let mut byte = 0u8;
+    for (i, &l) in labels.iter().enumerate().take(8) {
+        if l {
+            byte |= 1 << i;
+        }
+    }
+    std::fs::write(path, [byte]).is_ok()
+}

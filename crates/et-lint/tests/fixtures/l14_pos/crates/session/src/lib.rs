@@ -1,0 +1,17 @@
+//! L14 positive fixture: the hot labeling root persists eagerly — a
+//! filesystem write on the annotator-facing path, one call deep.
+
+/// The labeling step (declared `[[hot]]` in et-lint.toml).
+pub fn apply_labels(path: &str, labels: &[bool]) -> bool {
+    persist(path, labels)
+}
+
+fn persist(path: &str, labels: &[bool]) -> bool {
+    let mut byte = 0u8;
+    for (i, &l) in labels.iter().enumerate().take(8) {
+        if l {
+            byte |= 1 << i;
+        }
+    }
+    std::fs::write(path, [byte]).is_ok()
+}

@@ -1,0 +1,103 @@
+//! The `--json` and `--cost-report` documents must be real JSON, not just
+//! string-matched fragments: both are re-parsed here with et-serve's
+//! hand-rolled RFC 8259 parser (`et_serve::json::Json`) — the same parser
+//! a dashboard polling the serve layer would use — and cross-checked
+//! field-by-field against the in-memory [`Report`].
+
+use std::path::Path;
+
+use et_serve::json::Json;
+
+#[test]
+fn lint_json_schema_v2_reparses_with_serve_parser() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = et_lint::run(&root).expect("workspace lints");
+    let mut sink = Vec::new();
+    et_lint::json_out::render_json(&report, &root.join("et-lint.toml"), &mut sink);
+    let text = String::from_utf8(sink).expect("utf8");
+
+    let doc = Json::parse(&text).expect("render_json emits parseable JSON");
+    assert_eq!(
+        doc.get("version").and_then(Json::as_u64),
+        Some(2),
+        "schema v2 carries the cost report"
+    );
+    assert_eq!(
+        doc.get("files_scanned").and_then(Json::as_u64),
+        Some(report.files_scanned as u64)
+    );
+    assert_eq!(
+        doc.get("clean").and_then(Json::as_bool),
+        Some(report.is_clean())
+    );
+
+    let cost = doc
+        .get("cost_report")
+        .and_then(Json::as_array)
+        .expect("cost_report array present");
+    assert_eq!(cost.len(), report.hot_roots.len());
+    for (obj, stat) in cost.iter().zip(&report.hot_roots) {
+        assert_eq!(
+            obj.get("pattern").and_then(Json::as_str),
+            Some(stat.pattern.as_str())
+        );
+        let sites = obj.get("cost_sites").expect("cost_sites object");
+        assert_eq!(
+            sites.get("alloc").and_then(Json::as_u64),
+            Some(stat.alloc_sites as u64)
+        );
+        assert_eq!(
+            sites.get("lock").and_then(Json::as_u64),
+            Some(stat.lock_sites as u64)
+        );
+        assert_eq!(
+            sites.get("io").and_then(Json::as_u64),
+            Some(stat.io_sites as u64)
+        );
+        let vetted = obj
+            .get("vetted")
+            .and_then(Json::as_array)
+            .expect("vetted array");
+        assert_eq!(vetted.len(), stat.vetted.len());
+        for (v, site) in vetted.iter().zip(&stat.vetted) {
+            assert_eq!(
+                v.get("bound").and_then(Json::as_str),
+                Some(site.bound.as_str()),
+                "every vet carries its stated bound"
+            );
+        }
+    }
+}
+
+#[test]
+fn hotpath_document_reparses_and_matches_checked_in_report() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = et_lint::run(&root).expect("workspace lints");
+    let mut sink = Vec::new();
+    et_lint::json_out::render_hotpath(&report, &mut sink);
+    let text = String::from_utf8(sink).expect("utf8");
+
+    let doc = Json::parse(&text).expect("render_hotpath emits parseable JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some(et_lint::json_out::HOTPATH_SCHEMA)
+    );
+    let roots = doc
+        .get("hot_roots")
+        .and_then(Json::as_array)
+        .expect("hot_roots array");
+    assert_eq!(roots.len(), report.hot_roots.len());
+    assert!(
+        !roots.is_empty(),
+        "the workspace declares [[hot]] roots: {text}"
+    );
+
+    // The checked-in HOTPATH.json is the same document byte for byte (the
+    // ci gate regenerates and diffs it; this test catches drift earlier).
+    let checked_in =
+        std::fs::read_to_string(root.join("HOTPATH.json")).expect("HOTPATH.json checked in");
+    assert_eq!(
+        checked_in, text,
+        "HOTPATH.json is stale: regenerate with `cargo lint -- --cost-report > HOTPATH.json`"
+    );
+}

@@ -14,7 +14,7 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> et-lint (L1-L11 workspace rules, budget ${LINT_BUDGET_SECS:=60}s)"
+echo "==> et-lint (L1-L14 workspace rules, budget ${LINT_BUDGET_SECS:=60}s)"
 # Build first so the budget bounds analysis time, not rustc time. The lint
 # walks + lexes + parses the whole workspace and links the call graph on
 # every run; if it creeps past the wall-clock budget it stops being a
@@ -29,6 +29,22 @@ if [ "$LINT_ELAPSED" -gt "$LINT_BUDGET_SECS" ]; then
   echo "       (profile the walker/parser or raise LINT_BUDGET_SECS with a reason)" >&2
   exit 1
 fi
+
+echo "==> HOTPATH.json cost report is current (DESIGN.md §14)"
+# The checked-in hot-path budget must match what the lint derives from the
+# sources: any new allocation/lock/IO reachable from a [[hot]] root — even
+# a vetted one — moves the counts and shows up as a diff here, so cost
+# changes are reviewed like API changes. Deterministic: no timestamps.
+HOTPATH_TMP="$(mktemp /tmp/et-hotpath.XXXXXX.json)"
+./target/release/et-lint --cost-report > "$HOTPATH_TMP"
+if ! diff -u HOTPATH.json "$HOTPATH_TMP"; then
+  echo "FATAL: HOTPATH.json is stale — the hot-path cost profile changed" >&2
+  echo "       regenerate: ./target/release/et-lint --cost-report > HOTPATH.json" >&2
+  echo "       then review the diff like any other contract change" >&2
+  rm -f "$HOTPATH_TMP"
+  exit 1
+fi
+rm -f "$HOTPATH_TMP"
 
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
