@@ -5,46 +5,67 @@
 //! bench_json                     # full profile, writes BENCH_substrate.json
 //! bench_json --quick             # CI smoke profile (small fixture, few iters)
 //! bench_json --out path.json     # alternate output path
+//! bench_json --gate NAME:MIN     # exit 1 if derived NAME < MIN (repeatable)
 //! ```
 //!
 //! Unlike the criterion benches (interactive, statistical), this binary is
 //! the *perf-trajectory recorder*: a fixed fixture, a fixed bench list, and
 //! a JSON file that can be checked in and diffed across PRs.
+//!
+//! Derived speedups are computed from **medians of interleaved runs**: the
+//! two sides of a ratio alternate iteration by iteration, so a frequency
+//! ramp or a noisy neighbour biases both sides alike instead of whichever
+//! ran second. A derived speedup below 1.0 is flagged `"regressed": true`
+//! in the emitted JSON and `--gate` turns any such floor into an exit code.
 
 use std::hint::black_box;
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 use et_bench::fixtures::{fixture, Fixture};
 use et_core::{
-    recover_session, run_session, CandidatePool, FpTrainer, JournalConfig, Learner,
+    recover_session, run_session, top_k_indices, CandidatePool, FpTrainer, JournalConfig, Learner,
     ResponseStrategy, SessionConfig, SessionJournal, SessionState, StrategyKind,
 };
 use et_data::gen::DatasetName;
 use et_data::Table;
 use et_durable::{FsyncPolicy, Wal};
 use et_fd::{
-    pair_dirty_probs_with, DetectParams, HypothesisSpace, PartitionCache, RelationMatrix,
-    SubsampleIndex, ViolationIndex,
+    pair_dirty_probs_with, DeltaScorer, DetectParams, HypothesisSpace, PairScores, PartitionCache,
+    RelationMatrix, SubsampleIndex, ViolationIndex,
 };
 
 struct Cli {
     quick: bool,
     out: String,
+    /// `(derived name, minimum)` floors enforced after emission.
+    gates: Vec<(String, f64)>,
 }
 
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         quick: false,
         out: "BENCH_substrate.json".to_string(),
+        gates: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cli.quick = true,
             "--out" => cli.out = args.next().ok_or("--out needs a path")?,
+            "--gate" => {
+                let spec = args.next().ok_or("--gate needs NAME:MIN")?;
+                let (name, min) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--gate `{spec}` is not NAME:MIN"))?;
+                let min: f64 = min
+                    .parse()
+                    .map_err(|e| format!("--gate `{spec}`: bad minimum: {e}"))?;
+                cli.gates.push((name.to_string(), min));
+            }
             "--help" | "-h" => {
-                println!("usage: bench_json [--quick] [--out PATH]");
+                println!("usage: bench_json [--quick] [--out PATH] [--gate NAME:MIN]...");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -63,13 +84,9 @@ struct BenchStats {
     max: f64,
 }
 
-/// Times `f` for `iters` measured runs after `warmup` unmeasured ones.
-fn time_bench<R>(
-    name: &'static str,
-    warmup: usize,
-    iters: usize,
-    mut f: impl FnMut() -> R,
-) -> BenchStats {
+/// Runs `f` for `iters` measured iterations after `warmup` unmeasured
+/// ones, returning the per-iteration wall-clock samples in run order.
+fn collect_samples<R>(warmup: usize, iters: usize, mut f: impl FnMut() -> R) -> Vec<f64> {
     for _ in 0..warmup {
         black_box(f());
     }
@@ -79,28 +96,81 @@ fn time_bench<R>(
         black_box(f());
         samples.push(t0.elapsed().as_secs_f64());
     }
-    samples.sort_by(f64::total_cmp);
-    let min = samples.first().copied().unwrap_or(0.0);
-    let max = samples.last().copied().unwrap_or(0.0);
-    let mean = if samples.is_empty() {
+    samples
+}
+
+/// Reduces samples to [`BenchStats`], dividing each sample by `scale`
+/// (scale > 1 reports a per-unit latency, e.g. per round of a session).
+fn stats_from(name: &'static str, samples: &[f64], scale: f64) -> BenchStats {
+    let mut sorted: Vec<f64> = samples.iter().map(|s| s / scale).collect();
+    sorted.sort_by(f64::total_cmp);
+    let min = sorted.first().copied().unwrap_or(0.0);
+    let max = sorted.last().copied().unwrap_or(0.0);
+    let mean = if sorted.is_empty() {
         0.0
     } else {
-        samples.iter().sum::<f64>() / samples.len() as f64
+        sorted.iter().sum::<f64>() / sorted.len() as f64
     };
-    let median = if samples.is_empty() {
+    let median = if sorted.is_empty() {
         0.0
     } else {
-        samples[samples.len() / 2]
+        sorted[sorted.len() / 2]
     };
-    eprintln!("  {name}: mean {:.3} ms over {iters} iters", mean * 1e3);
+    eprintln!(
+        "  {name}: mean {:.3} ms over {} iters",
+        mean * 1e3,
+        sorted.len()
+    );
     BenchStats {
         name,
-        iters,
+        iters: sorted.len(),
         min,
         mean,
         median,
         max,
     }
+}
+
+/// Times `f` for `iters` measured runs after `warmup` unmeasured ones.
+fn time_bench<R>(
+    name: &'static str,
+    warmup: usize,
+    iters: usize,
+    f: impl FnMut() -> R,
+) -> BenchStats {
+    let samples = collect_samples(warmup, iters, f);
+    stats_from(name, &samples, 1.0)
+}
+
+/// Times two benches with their iterations interleaved (a, b, a, b, …) so
+/// a derived a/b ratio compares like against like under clock drift. Both
+/// sides get `warmup` unmeasured alternating rounds first.
+fn time_bench_interleaved<RA, RB>(
+    name_a: &'static str,
+    name_b: &'static str,
+    warmup: usize,
+    iters: usize,
+    mut fa: impl FnMut() -> RA,
+    mut fb: impl FnMut() -> RB,
+) -> (BenchStats, BenchStats) {
+    for _ in 0..warmup {
+        black_box(fa());
+        black_box(fb());
+    }
+    let mut samples_a: Vec<f64> = Vec::with_capacity(iters);
+    let mut samples_b: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(fa());
+        samples_a.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        black_box(fb());
+        samples_b.push(t0.elapsed().as_secs_f64());
+    }
+    (
+        stats_from(name_a, &samples_a, 1.0),
+        stats_from(name_b, &samples_b, 1.0),
+    )
 }
 
 /// The index build as it existed before the partition cache: one
@@ -258,26 +328,64 @@ fn run_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
         RelationMatrix::build(&f.table, &f.space, &cache, &pairs)
     }));
     let matrix = RelationMatrix::build(&f.table, &f.space, &cache, &pairs);
-    out.push(time_bench("scoring_matrix_score", warmup, iters, || {
-        let s = matrix.score_all(&conf, &params);
-        s.dirty.iter().sum::<f64>()
-    }));
     // The hot-path contract (L12): the same batch pass with caller-owned
     // scratch allocates nothing after the first round. Scores pinned
-    // bit-exact against score_all by the relmatrix tests.
+    // bit-exact against score_all by the relmatrix tests. The two sides
+    // are interleaved because their ratio is a checked-in derived speedup.
     let mut factors = vec![0.0; f.space.len()];
-    let mut scores = et_fd::PairScores::zeroed(pairs.len());
-    out.push(time_bench(
+    let mut scores = PairScores::zeroed(pairs.len());
+    // Sub-millisecond sides need more than the headline iteration count
+    // for a stable median; 60 interleaved runs still cost < 20ms total.
+    let (with_alloc, alloc_free) = time_bench_interleaved(
+        "scoring_matrix_score",
         "scoring_matrix_score_alloc_free",
-        warmup,
-        iters,
+        warmup.max(3),
+        iters.max(60),
+        || {
+            let s = matrix.score_all(&conf, &params);
+            s.dirty.iter().sum::<f64>()
+        },
         || {
             matrix.score_all_into(&conf, &params, &mut factors, &mut scores);
             scores.dirty.iter().sum::<f64>()
         },
+    );
+    out.push(with_alloc);
+    out.push(alloc_free);
+
+    // k-selection over the pool-sized score vector: the bounded heap vs
+    // the historical full sort (same deterministic tie-break on index, so
+    // both sides return identical pairs — pinned by the et-core proptests).
+    let select_scores = scores.dirty.clone();
+    let k = 10usize;
+    let (topk, sortk) = time_bench_interleaved(
+        "round_topk_select",
+        "round_sort_select",
+        warmup,
+        iters.max(10),
+        || top_k_indices(&select_scores, k),
+        || {
+            let mut idx: Vec<usize> = (0..select_scores.len()).collect();
+            idx.sort_by(|&i, &j| {
+                select_scores[j]
+                    .total_cmp(&select_scores[i])
+                    .then(i.cmp(&j))
+            });
+            idx.truncate(k);
+            idx
+        },
+    );
+    out.push(topk);
+    out.push(sortk);
+
+    out.extend(round_latency_benches(
+        f,
+        ["round_full_rescore", "round_delta_rescore"],
+        4000,
+        quick,
     ));
 
-    out.push(time_bench("session_fp_rounds", 0, session_iters, || {
+    let session_samples = collect_samples(0, session_iters, || {
         let prior_cfg = et_belief::PriorConfig {
             strength: 0.3,
             ..et_belief::PriorConfig::default()
@@ -315,10 +423,76 @@ fn run_benches(f: &Fixture, quick: bool) -> Vec<BenchStats> {
             &mut learner,
         );
         r.metrics.len()
-    }));
+    });
+    out.push(stats_from("session_fp_rounds", &session_samples, 1.0));
+    // Per-round successor metric: the same samples scaled per iteration —
+    // the unit the sub-millisecond round target is stated in.
+    out.push(stats_from(
+        "session_fp_round",
+        &session_samples,
+        rounds as f64,
+    ));
 
     out.extend(durability_benches(f, quick));
     out
+}
+
+/// The per-round batch-rescoring cost, full versus delta. Each iteration
+/// nudges one FD's confidence (what a single labeled batch typically
+/// moves) and rescores the whole candidate pool — either from scratch
+/// (`score_all_into`) or through a [`DeltaScorer`], which re-folds only
+/// the pairs whose packed relation words intersect the changed-FD mask.
+/// Both sides score the identical confidence sequence and are interleaved
+/// iteration by iteration; the delta side's scores are pinned bit-exact
+/// to the full side's by the et-fd proptests.
+fn round_latency_benches(
+    f: &Fixture,
+    names: [&'static str; 2],
+    pool_cap: usize,
+    quick: bool,
+) -> Vec<BenchStats> {
+    let (warmup, iters) = if quick { (2, 5) } else { (5, 50) };
+    let cache = PartitionCache::new(&f.table);
+    let pool = CandidatePool::build_with(&f.table, &f.space, &cache, pool_cap, 2);
+    let pairs: Vec<(usize, usize)> = pool.pairs().iter().map(|p| (p.a, p.b)).collect();
+    let matrix = Arc::new(RelationMatrix::build(&f.table, &f.space, &cache, &pairs));
+    let params = DetectParams::unsmoothed();
+    let n_fds = f.space.len();
+    let conf = std::cell::RefCell::new(
+        (0..n_fds)
+            .map(|i| 0.25 + 0.5 * ((i % 7) as f64) / 7.0)
+            .collect::<Vec<f64>>(),
+    );
+    let tick = std::cell::Cell::new(0usize);
+    let mut factors = vec![0.0; n_fds];
+    let mut scores = PairScores::zeroed(pairs.len());
+    let mut delta = DeltaScorer::new(Arc::clone(&matrix));
+    {
+        // Seed the delta slot so every measured call takes the delta path,
+        // never the cold full fold.
+        let c = conf.borrow();
+        let _ = delta.scores_for(&c, &params);
+    }
+    let (full, del) = time_bench_interleaved(
+        names[0],
+        names[1],
+        warmup,
+        iters,
+        || {
+            let mut c = conf.borrow_mut();
+            let fd = tick.get() % n_fds;
+            tick.set(tick.get() + 1);
+            // Deterministic nudge kept inside (0.25, 0.75).
+            c[fd] = 0.25 + (c[fd] * 97.0 + 0.013).fract() * 0.5;
+            matrix.score_all_into(&c, &params, &mut factors, &mut scores);
+            scores.dirty.iter().sum::<f64>()
+        },
+        || {
+            let c = conf.borrow();
+            delta.scores_for(&c, &params).dirty.iter().sum::<f64>()
+        },
+    );
+    vec![full, del]
 }
 
 /// Exits loudly; benches have no error channel worth plumbing.
@@ -473,16 +647,24 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Whether a derived entry counts as a regression: every `*_speedup`
+/// ratio is "new path over old path", so below 1.0 means the new path
+/// lost ground and the JSON should say so explicitly.
+fn is_regressed(name: &str, value: f64) -> bool {
+    name.ends_with("_speedup") && value < 1.0
+}
+
 fn emit_json(
     cli: &Cli,
     f: &Fixture,
     rows: usize,
+    tax_rows: Option<usize>,
     benches: &[BenchStats],
     derived: &[(&str, f64)],
 ) -> String {
     let mut j = String::new();
     j.push_str("{\n");
-    j.push_str("  \"schema\": \"et-bench/substrate-v1\",\n");
+    j.push_str("  \"schema\": \"et-bench/substrate-v2\",\n");
     j.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if cli.quick { "quick" } else { "full" }
@@ -493,6 +675,12 @@ fn emit_json(
         f.space.len(),
         f.space.distinct_lhs().len()
     ));
+    if let Some(tr) = tax_rows {
+        j.push_str(&format!(
+            "  \"tax_fixture\": {{\"dataset\": \"tax\", \"rows\": {tr}, \"degree\": 0.15, \
+             \"seed\": 2}},\n"
+        ));
+    }
     j.push_str("  \"benches\": [\n");
     for (i, b) in benches.iter().enumerate() {
         j.push_str(&format!(
@@ -508,22 +696,31 @@ fn emit_json(
         ));
     }
     j.push_str("  ],\n");
-    j.push_str("  \"derived\": {");
+    j.push_str("  \"derived\": {\n");
     for (i, (name, v)) in derived.iter().enumerate() {
-        if i > 0 {
-            j.push_str(", ");
-        }
-        j.push_str(&format!("\"{}\": {:.3}", json_escape(name), v));
+        j.push_str(&format!(
+            "    \"{}\": {{\"value\": {:.3}{}}}{}\n",
+            json_escape(name),
+            v,
+            if is_regressed(name, *v) {
+                ", \"regressed\": true"
+            } else {
+                ""
+            },
+            if i + 1 < derived.len() { "," } else { "" }
+        ));
     }
-    j.push_str("}\n}\n");
+    j.push_str("  }\n}\n");
     j
 }
 
-fn mean_of(benches: &[BenchStats], name: &str) -> Option<f64> {
+/// Median of a named bench, for derived ratios: robust to the stray slow
+/// iteration that skews a mean on shared CI hardware.
+fn median_of(benches: &[BenchStats], name: &str) -> Option<f64> {
     benches
         .iter()
         .find(|b| b.name == name)
-        .map(|b| b.mean)
+        .map(|b| b.median)
         .filter(|&m| m > 0.0)
 }
 
@@ -538,7 +735,36 @@ fn main() {
     let rows = if cli.quick { 200 } else { 500 };
     eprintln!("bench_json: hospital fixture, {rows} rows, degree 0.15, seed 2");
     let f = fixture(DatasetName::Hospital, rows, 0.15, 2);
-    let benches = run_benches(&f, cli.quick);
+    let mut benches = run_benches(&f, cli.quick);
+
+    // Tax-scale round latencies: a second round-latency family over a much
+    // larger table and candidate pool, guarded by a wall-clock budget so a
+    // slow CI box skips it loudly instead of timing the whole step out.
+    let tax_rows = if cli.quick { 2_000 } else { 10_000 };
+    let tax_budget: f64 = std::env::var("ET_BENCH_TAX_BUDGET_SECS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if cli.quick { 30.0 } else { 300.0 });
+    let mut tax_ran = None;
+    eprintln!("bench_json: tax fixture, {tax_rows} rows, degree 0.15, seed 2");
+    let t0 = Instant::now();
+    let tax = fixture(DatasetName::Tax, tax_rows, 0.15, 2);
+    let tax_build = t0.elapsed().as_secs_f64();
+    if tax_build > tax_budget {
+        eprintln!(
+            "  tax fixture build took {tax_build:.1}s (budget {tax_budget:.1}s, \
+             ET_BENCH_TAX_BUDGET_SECS); skipping round_latency_*_tax"
+        );
+    } else {
+        benches.push(stats_from("fixture_build_tax", &[tax_build], 1.0));
+        benches.extend(round_latency_benches(
+            &tax,
+            ["round_full_rescore_tax", "round_delta_rescore_tax"],
+            20_000,
+            cli.quick,
+        ));
+        tax_ran = Some(tax_rows);
+    }
 
     let mut derived: Vec<(&str, f64)> = Vec::new();
     let ratios = [
@@ -578,23 +804,43 @@ fn main() {
             "scoring_matrix_score_alloc_free",
         ),
         (
+            "round_latency_delta_vs_full_speedup",
+            "round_full_rescore",
+            "round_delta_rescore",
+        ),
+        (
+            "round_latency_delta_vs_full_speedup_tax",
+            "round_full_rescore_tax",
+            "round_delta_rescore_tax",
+        ),
+        (
+            "topk_vs_sort_select_speedup",
+            "round_sort_select",
+            "round_topk_select",
+        ),
+        (
             "fsync_append_cost_ratio",
             "durable_wal_append_fsync",
             "durable_wal_append",
         ),
     ];
     for (name, slow, fast) in ratios {
-        if let (Some(s), Some(q)) = (mean_of(&benches, slow), mean_of(&benches, fast)) {
+        if let (Some(s), Some(q)) = (median_of(&benches, slow), median_of(&benches, fast)) {
             derived.push((name, s / q));
         }
     }
 
-    let json = emit_json(&cli, &f, rows, &benches, &derived);
+    let json = emit_json(&cli, &f, rows, tax_ran, &benches, &derived);
     let write = std::fs::File::create(&cli.out).and_then(|mut fh| fh.write_all(json.as_bytes()));
     match write {
         Ok(()) => {
             for (name, v) in &derived {
-                eprintln!("  {name}: {v:.2}x");
+                let flag = if is_regressed(name, *v) {
+                    "  (regressed)"
+                } else {
+                    ""
+                };
+                eprintln!("  {name}: {v:.2}x{flag}");
             }
             println!("wrote {}", cli.out);
         }
@@ -602,5 +848,23 @@ fn main() {
             eprintln!("error: cannot write {}: {e}", cli.out);
             std::process::exit(1);
         }
+    }
+
+    let mut gate_failed = false;
+    for (name, min) in &cli.gates {
+        match derived.iter().find(|(n, _)| n == name) {
+            Some((_, v)) if v >= min => eprintln!("  gate {name}: {v:.3} >= {min:.3} ok"),
+            Some((_, v)) => {
+                eprintln!("  gate {name}: {v:.3} < {min:.3} FAILED");
+                gate_failed = true;
+            }
+            None => {
+                eprintln!("  gate {name}: no such derived value FAILED");
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }

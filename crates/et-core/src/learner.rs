@@ -113,9 +113,22 @@ impl Learner {
         k: usize,
     ) -> Vec<PairExample> {
         let fresh = pool.fresh(&self.shown);
+        self.select_from(ctx, &fresh, k)
+    }
+
+    /// [`Learner::select`] over an explicit fresh-candidate list (already
+    /// filtered against [`Learner::shown`]): lets a round that also does
+    /// policy accounting enumerate the fresh set once instead of once per
+    /// call. Records the picks as shown.
+    pub fn select_from(
+        &mut self,
+        ctx: ScoreCtx<'_>,
+        fresh: &[PairExample],
+        k: usize,
+    ) -> Vec<PairExample> {
         let picked = self
             .strategy
-            .select(ctx, &self.belief, &fresh, k, &mut self.rng);
+            .select(ctx, &self.belief, fresh, k, &mut self.rng);
         self.shown.extend(picked.iter().copied());
         picked
     }
@@ -129,10 +142,15 @@ impl Learner {
         k: usize,
     ) -> (Vec<PairExample>, Vec<f64>) {
         let fresh = pool.fresh(&self.shown);
-        let dist = self
-            .strategy
-            .policy_distribution(ctx, &self.belief, &fresh, k);
+        let dist = self.policy_over(ctx, &fresh, k);
         (fresh, dist)
+    }
+
+    /// [`Learner::policy_over_fresh`] over an explicit fresh-candidate
+    /// list (the counterpart of [`Learner::select_from`]).
+    pub fn policy_over(&self, ctx: ScoreCtx<'_>, fresh: &[PairExample], k: usize) -> Vec<f64> {
+        self.strategy
+            .policy_distribution(ctx, &self.belief, fresh, k)
     }
 
     /// Absorbs one interaction: the selected pairs, the presented sample,

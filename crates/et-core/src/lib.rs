@@ -42,6 +42,7 @@ pub mod payoff;
 pub mod replay;
 pub mod respond;
 pub mod session;
+pub mod topk;
 pub mod trainer;
 pub mod weak_strong;
 
@@ -58,5 +59,6 @@ pub use session::{
     run_session, sample_rows, ConfigError, ConvergenceReport, IterationMetrics, PendingInteraction,
     Session, SessionConfig, SessionError, SessionResult, SessionState, StepError,
 };
+pub use topk::{top_k_indices, BoundedTopK};
 pub use trainer::{FpTrainer, HtTrainer, NoisyTrainer, StationaryTrainer, Trainer};
 pub use weak_strong::{run_weak_strong, WeakStrongConfig, WeakStrongResult};

@@ -17,10 +17,13 @@
 //! and `ThompsonSampling` (score under a posterior draw instead of the
 //! posterior mean).
 
+use std::cell::{RefCell, RefMut};
+
 use et_belief::Belief;
 use et_data::Table;
 use et_fd::{
-    binary_entropy, invariant, tuple_dirty_prob_with, DetectParams, RelationMatrix, ViolationIndex,
+    binary_entropy, invariant, tuple_dirty_prob_with, DeltaScorer, DetectParams, PairScores,
+    RelationMatrix, ViolationIndex,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -28,6 +31,7 @@ use rand::Rng;
 
 use crate::game::PairExample;
 use crate::payoff::{example_confidence, example_uncertainty};
+use crate::topk::top_k_indices;
 
 /// Everything a response strategy scores from.
 ///
@@ -45,6 +49,12 @@ pub struct ScoreCtx<'a> {
     pub index: Option<&'a ViolationIndex>,
     /// Precomputed pair-relation matrix over the candidate pool.
     pub matrix: Option<&'a RelationMatrix>,
+    /// Session-lifetime delta-rescoring cache over `matrix`. When present
+    /// (and it owns the same matrix), batch scores are served by factor
+    /// diff + delta re-fold instead of a from-scratch `score_all` — the
+    /// second scoring pass of a round and near-unchanged beliefs become
+    /// (near-)free. Scores are bit-identical either way.
+    pub scorer: Option<&'a RefCell<DeltaScorer>>,
 }
 
 impl<'a> ScoreCtx<'a> {
@@ -54,6 +64,7 @@ impl<'a> ScoreCtx<'a> {
             table,
             index: None,
             matrix: None,
+            scorer: None,
         }
     }
 
@@ -70,6 +81,35 @@ impl<'a> ScoreCtx<'a> {
         self.matrix = Some(matrix);
         self
     }
+
+    /// Attaches a delta-rescoring cache (used only when it covers the
+    /// attached matrix).
+    #[must_use]
+    pub fn with_scorer(mut self, scorer: &'a RefCell<DeltaScorer>) -> Self {
+        self.scorer = Some(scorer);
+        self
+    }
+}
+
+/// Batch scores over `m` for one `(confidences, params)` request: served
+/// from the attached [`DeltaScorer`] when it caches this very matrix
+/// (delta re-fold, cached across calls), freshly computed otherwise. The
+/// two out-parameters anchor the returned borrow in the caller's frame.
+fn batch_scores<'a, 'g: 'a>(
+    m: &RelationMatrix,
+    scorer: Option<&'g RefCell<DeltaScorer>>,
+    confidences: &[f64],
+    params: &DetectParams,
+    owned: &'a mut Option<PairScores>,
+    guard: &'a mut Option<RefMut<'g, DeltaScorer>>,
+) -> &'a PairScores {
+    if let Some(cell) = scorer {
+        let g = cell.borrow_mut();
+        if std::ptr::eq::<RelationMatrix>(g.matrix(), m) {
+            return guard.insert(g).scores_for(confidences, params);
+        }
+    }
+    owned.insert(m.score_all(confidences, params))
 }
 
 /// What the per-example scores are computed from.
@@ -272,12 +312,13 @@ impl ResponseStrategy {
             | StrategyKind::CommitteeDisagreement
             | StrategyKind::DensityWeightedUncertainty => {
                 let scores = self.scores(ctx, belief, candidates, None);
-                let chosen = top_k(candidates, &scores, k.min(n));
+                let chosen = top_k_indices(&scores, k.min(n));
                 let w = 1.0 / chosen.len() as f64;
-                candidates
-                    .iter()
-                    .map(|p| if chosen.contains(p) { w } else { 0.0 })
-                    .collect()
+                let mut out = vec![0.0; n];
+                for i in chosen {
+                    out[i] = w;
+                }
+                out
             }
             StrategyKind::StochasticBestResponse | StrategyKind::StochasticUncertainty => {
                 let scores = self.scores(ctx, belief, candidates, None);
@@ -334,16 +375,25 @@ impl ResponseStrategy {
         if matches!(self.kind, StrategyKind::DensityWeightedUncertainty) {
             // Uncertainty x representativeness (relevant-FD count).
             let n_fds = belief.len().max(1) as f64;
-            let batch = ctx
-                .matrix
-                .map(|m| m.score_all(&belief.confidences(), &DetectParams::unsmoothed()));
+            let conf = belief.confidences();
+            let (mut owned, mut guard) = (None, None);
+            let batch = ctx.matrix.map(|m| {
+                batch_scores(
+                    m,
+                    ctx.scorer,
+                    &conf,
+                    &DetectParams::unsmoothed(),
+                    &mut owned,
+                    &mut guard,
+                )
+            });
             let mut rel: Option<et_fd::SpaceRelations> = None;
             return candidates
                 .iter()
                 .map(|&p| {
                     let hit = ctx
                         .matrix
-                        .zip(batch.as_ref())
+                        .zip(batch)
                         .and_then(|(m, b)| Some((m, b, m.pair_id(p.a, p.b)?)));
                     match hit {
                         Some((m, b, pid)) => {
@@ -405,15 +455,24 @@ impl ResponseStrategy {
                     StrategyKind::UncertaintySampling | StrategyKind::StochasticUncertainty => {
                         // Uncertainty is belief-internal: raw probabilities,
                         // posterior-mean confidences (never the draw).
+                        let mean_conf = belief.confidences();
+                        let (mut owned, mut guard) = (None, None);
                         let batch = ctx.matrix.map(|m| {
-                            m.score_all(&belief.confidences(), &DetectParams::unsmoothed())
+                            batch_scores(
+                                m,
+                                ctx.scorer,
+                                &mean_conf,
+                                &DetectParams::unsmoothed(),
+                                &mut owned,
+                                &mut guard,
+                            )
                         });
                         candidates
                             .iter()
                             .map(|&p| {
                                 let hit = ctx
                                     .matrix
-                                    .zip(batch.as_ref())
+                                    .zip(batch)
                                     .and_then(|(m, b)| Some((b, m.pair_id(p.a, p.b)?)));
                                 match hit {
                                     Some((b, pid)) => {
@@ -434,13 +493,16 @@ impl ResponseStrategy {
                         } else {
                             DetectParams::unsmoothed()
                         };
-                        let batch = ctx.matrix.map(|m| m.score_all(conf, &params));
+                        let (mut owned, mut guard) = (None, None);
+                        let batch = ctx.matrix.map(|m| {
+                            batch_scores(m, ctx.scorer, conf, &params, &mut owned, &mut guard)
+                        });
                         candidates
                             .iter()
                             .map(|&p| {
                                 let hit = ctx
                                     .matrix
-                                    .zip(batch.as_ref())
+                                    .zip(batch)
                                     .and_then(|(m, b)| Some((b, m.pair_id(p.a, p.b)?)));
                                 match hit {
                                     Some((b, pid)) => {
@@ -469,12 +531,14 @@ impl ResponseStrategy {
     }
 }
 
-/// Deterministic top-k by score (ties by candidate order).
+/// Deterministic top-k by score (ties by candidate order): a bounded
+/// `O(n log k)` heap ([`crate::topk`]) in place of the historical full
+/// sort, with element-for-element identical output.
 fn top_k(candidates: &[PairExample], scores: &[f64], k: usize) -> Vec<PairExample> {
-    let mut idx: Vec<usize> = (0..candidates.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
-    idx.truncate(k);
-    idx.into_iter().map(|i| candidates[i]).collect()
+    top_k_indices(scores, k)
+        .into_iter()
+        .map(|i| candidates[i])
+        .collect()
 }
 
 /// Numerically-stable softmax of `scores / gamma`.

@@ -380,6 +380,14 @@ pub struct SessionState {
     /// relations depend only on the immutable table). Shared by the batch
     /// loop, the step API, and the serve store via `Arc`.
     matrix: OnceLock<Arc<RelationMatrix>>,
+    /// Lazily built delta-rescoring cache over `matrix`: the per-FD dirty
+    /// diffing and cached [`et_fd::PairScores`] live here, next to the
+    /// matrix they cover, so batch runs, the step API, and serve-store
+    /// sessions all share the delta path. `RefCell` because strategies
+    /// take the scoring context immutably and a session step is
+    /// single-threaded; never persisted (pure cache, bit-identical to the
+    /// full rescore, so recovery just re-warms it).
+    scorer: OnceLock<std::cell::RefCell<et_fd::DeltaScorer>>,
     /// When false, strategies score via the per-call reference path
     /// (parity tests, baseline benchmarks).
     use_matrix: bool,
@@ -476,6 +484,7 @@ impl SessionState {
             score_index,
             pool,
             matrix: OnceLock::new(),
+            scorer: OnceLock::new(),
             use_matrix: true,
             metrics,
             history,
@@ -654,14 +663,21 @@ impl SessionState {
             None
         };
         let mut ctx = ScoreCtx::new(&self.table).with_index(&self.score_index);
-        if let Some(m) = matrix.as_deref() {
+        if let Some(m) = matrix.as_ref() {
             ctx = ctx.with_matrix(m);
+            let cell = self
+                .scorer
+                .get_or_init(|| std::cell::RefCell::new(et_fd::DeltaScorer::new(Arc::clone(m))));
+            ctx = ctx.with_scorer(cell);
         }
+        // One fresh-candidate enumeration serves both the policy accounting
+        // and the selection (the shown-set only grows inside `select_from`).
+        let fresh = self.pool.fresh(learner.shown());
         // Policy distribution before selection (for entropy accounting).
-        let (_, dist) = learner.policy_over_fresh(ctx, &self.pool, self.cfg.pairs_per_iteration);
+        let dist = learner.policy_over(ctx, &fresh, self.cfg.pairs_per_iteration);
         let h_policy = policy_entropy(&dist);
 
-        let pairs = learner.select(ctx, &self.pool, self.cfg.pairs_per_iteration);
+        let pairs = learner.select_from(ctx, &fresh, self.cfg.pairs_per_iteration);
         if pairs.is_empty() {
             self.exhausted = true; // pool dry
             return Ok(None);

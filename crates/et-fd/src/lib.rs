@@ -26,6 +26,7 @@ pub mod cover;
 #[macro_use]
 pub mod invariant;
 pub mod cache;
+pub mod delta;
 pub mod detect;
 pub mod discovery;
 pub mod fd;
@@ -42,6 +43,7 @@ pub mod violations;
 pub use attrset::AttrSet;
 pub use cache::{PartitionCache, NO_CLASS};
 pub use cover::{closure, equivalent, implies, minimal_cover};
+pub use delta::DeltaScorer;
 pub use detect::{
     binary_entropy, pair_dirty_probs, pair_dirty_probs_with, predict_labels, tuple_dirty_prob,
     tuple_dirty_prob_with, DetectParams, Indicator,

@@ -256,6 +256,13 @@ impl RelationMatrix {
         self.n_fds
     }
 
+    /// Packed words per pair (`n_fds.div_ceil(32)`): the width of the
+    /// changed-FD masks [`RelationMatrix::changed_factor_mask`] fills and
+    /// [`RelationMatrix::rescore_delta`] consumes.
+    pub fn words_per_pair(&self) -> usize {
+        self.words_per_pair
+    }
+
     /// True when no pairs are covered.
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
@@ -322,6 +329,43 @@ impl RelationMatrix {
             .iter()
             .map(|&w| ((w | (w >> 1)) & SATISFIES_MASK).count_ones() as usize)
             .sum()
+    }
+
+    /// Folds the noisy-OR keep-clean products of four pairs at once: a
+    /// fixed-width chunk with four independent accumulators, so the
+    /// compiler can keep the multiply chains in flight together (and
+    /// autovectorize the 4-wide select-multiply) without reassociating any
+    /// single pair's product.
+    ///
+    /// Bit-exact with the scalar [`RelationMatrix::dirty_prob_with_factors`]
+    /// fold: lanes are visited in ascending FD order (the union bitscan
+    /// yields ascending lanes) and a pair not violating a visited lane
+    /// multiplies by `1.0`, which is an exact identity in IEEE-754 — each
+    /// pair's own factor sequence and order are unchanged.
+    #[inline]
+    fn fold4(&self, pids: [usize; 4], factors: &[f64], keep0: f64) -> [f64; 4] {
+        let wpp = self.words_per_pair;
+        let bases = pids.map(|p| p * wpp);
+        let mut keep = [keep0; 4];
+        for wi in 0..wpp {
+            let w = [
+                self.words[bases[0] + wi] & VIOLATES_MASK,
+                self.words[bases[1] + wi] & VIOLATES_MASK,
+                self.words[bases[2] + wi] & VIOLATES_MASK,
+                self.words[bases[3] + wi] & VIOLATES_MASK,
+            ];
+            let mut union = w[0] | w[1] | w[2] | w[3];
+            while union != 0 {
+                let lane = union.trailing_zeros() as usize / 2;
+                let bit = union & union.wrapping_neg();
+                union &= union - 1;
+                let f = factors[wi * FDS_PER_WORD + lane];
+                for j in 0..4 {
+                    keep[j] *= if w[j] & bit != 0 { f } else { 1.0 };
+                }
+            }
+        }
+        keep
     }
 
     /// The noisy-OR dirty probability of pair `pid` given precomputed
@@ -408,7 +452,137 @@ impl RelationMatrix {
             "score buffer does not match pair count"
         );
         violation_factors_into(confidences, params, factors);
+        let keep0 = 1.0 - params.base_rate;
+        let n = self.pairs.len();
+        let mut pid = 0;
+        while pid + 4 <= n {
+            let keep = self.fold4([pid, pid + 1, pid + 2, pid + 3], factors, keep0);
+            for (j, k) in keep.into_iter().enumerate() {
+                let p = 1.0 - k;
+                out.dirty[pid + j] = p;
+                out.entropy[pid + j] = binary_entropy(p);
+            }
+            pid += 4;
+        }
+        while pid < n {
+            let p = self.dirty_prob_with_factors(pid, factors, params);
+            out.dirty[pid] = p;
+            out.entropy[pid] = binary_entropy(p);
+            pid += 1;
+        }
+    }
+
+    /// Diffs two per-FD factor vectors into a changed-FD mask laid out like
+    /// the packed violates bits: FD `fi` changed sets bit `2·(fi mod 32)+1`
+    /// of word `fi / 32`, so `pair_word & mask != 0` tests "this pair
+    /// violates a changed FD" with one AND per word. Returns `true` when any
+    /// factor changed. Factors compare by bit pattern (`to_bits`), the same
+    /// notion of equality the bit-exactness contract is stated in.
+    ///
+    /// # Panics
+    /// Panics when `old`/`new` do not have one entry per FD or `mask` does
+    /// not have one word per packed relation word
+    /// (`n_fds.div_ceil(32)` slots).
+    pub fn changed_factor_mask(&self, old: &[f64], new: &[f64], mask: &mut [u64]) -> bool {
+        assert_eq!(
+            old.len(),
+            self.n_fds,
+            "old factor vector does not match hypothesis space"
+        );
+        assert_eq!(
+            new.len(),
+            self.n_fds,
+            "new factor vector does not match hypothesis space"
+        );
+        assert_eq!(
+            mask.len(),
+            self.words_per_pair,
+            "mask buffer does not match packed width"
+        );
+        for w in mask.iter_mut() {
+            *w = 0;
+        }
+        let mut any = false;
+        for fi in 0..self.n_fds {
+            if old[fi].to_bits() != new[fi].to_bits() {
+                mask[fi / FDS_PER_WORD] |= CODE_VIOLATES << ((fi % FDS_PER_WORD) * 2);
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Delta-rescoring: re-folds only the pairs whose packed relation words
+    /// intersect `changed` (a mask from
+    /// [`RelationMatrix::changed_factor_mask`]), updating `out` in place.
+    ///
+    /// Contract (the delta invariant): `out` must hold scores produced by
+    /// [`RelationMatrix::score_all_into`] (or a previous `rescore_delta`)
+    /// under the *same* `params` and a factor vector that differs from
+    /// `factors` only at FDs flagged in `changed`. A pair's score depends
+    /// solely on the factors of the FDs it violates, so a pair whose
+    /// violates words miss the mask would re-fold to the bit-identical
+    /// value it already holds — skipping it cannot drift. Re-folded pairs
+    /// go through the same chunked fold as the full pass
+    /// (`RelationMatrix::fold4` plus the scalar tail), so the delta path
+    /// is bit-exact against a full rescore by construction.
+    ///
+    /// # Panics
+    /// Panics when `factors` does not have one entry per FD, `changed` one
+    /// word per packed relation word, or `out` one slot per pair.
+    pub fn rescore_delta(
+        &self,
+        factors: &[f64],
+        params: &DetectParams,
+        changed: &[u64],
+        out: &mut PairScores,
+    ) {
+        assert_eq!(
+            factors.len(),
+            self.n_fds,
+            "factor vector does not match hypothesis space"
+        );
+        assert_eq!(
+            changed.len(),
+            self.words_per_pair,
+            "changed mask does not match packed width"
+        );
+        assert_eq!(
+            out.dirty.len(),
+            self.pairs.len(),
+            "score buffer does not match pair count"
+        );
+        assert_eq!(
+            out.entropy.len(),
+            self.pairs.len(),
+            "score buffer does not match pair count"
+        );
+        let keep0 = 1.0 - params.base_rate;
+        let wpp = self.words_per_pair;
+        let mut batch = [0usize; 4];
+        let mut filled = 0;
         for pid in 0..self.pairs.len() {
+            let base = pid * wpp;
+            let mut hit = 0u64;
+            for (wi, &mask) in changed.iter().enumerate().take(wpp) {
+                hit |= self.words[base + wi] & mask;
+            }
+            if hit == 0 {
+                continue;
+            }
+            batch[filled] = pid;
+            filled += 1;
+            if filled == batch.len() {
+                let keep = self.fold4(batch, factors, keep0);
+                for (j, k) in keep.into_iter().enumerate() {
+                    let p = 1.0 - k;
+                    out.dirty[batch[j]] = p;
+                    out.entropy[batch[j]] = binary_entropy(p);
+                }
+                filled = 0;
+            }
+        }
+        for &pid in &batch[..filled] {
             let p = self.dirty_prob_with_factors(pid, factors, params);
             out.dirty[pid] = p;
             out.entropy[pid] = binary_entropy(p);
@@ -536,6 +710,81 @@ mod tests {
             &mut factors,
             &mut scores,
         );
+    }
+
+    #[test]
+    fn changed_factor_mask_flags_exactly_the_diff() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let m = RelationMatrix::build(&t, &sp, &cache, &all_pairs(t.nrows()));
+        let mut mask = vec![u64::MAX; m.words_per_pair()];
+        let old = [0.3, 0.7];
+        assert!(!m.changed_factor_mask(&old, &old, &mut mask));
+        assert!(mask.iter().all(|&w| w == 0), "mask is cleared on no-diff");
+        // FD 1 changes: bit 2·1+1 = 3 of word 0.
+        assert!(m.changed_factor_mask(&old, &[0.3, 0.6], &mut mask));
+        assert_eq!(mask, vec![0b1000]);
+        // A bit-level change counts even when the values compare equal
+        // numerically never happens for distinct bits; 0.0 vs -0.0 does.
+        assert!(m.changed_factor_mask(&[0.0, 0.7], &[-0.0, 0.7], &mut mask));
+        assert_eq!(mask, vec![0b10]);
+    }
+
+    #[test]
+    fn rescore_delta_matches_full_rescore() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        for params in [DetectParams::unsmoothed(), DetectParams::default()] {
+            let mut factors = vec![0.0; sp.len()];
+            let mut scores = PairScores::zeroed(pairs.len());
+            let mut conf = vec![0.96, 0.55];
+            m.score_all_into(&conf, &params, &mut factors, &mut scores);
+            let mut mask = vec![0u64; m.words_per_pair()];
+            // Nudge one FD at a time; the delta path must stay bit-equal to
+            // a from-scratch rescore after every step.
+            for round in 0..6 {
+                conf[round % 2] = (conf[round % 2] * 0.83).max(0.05);
+                let new_factors = violation_factors(&conf, &params);
+                let any = m.changed_factor_mask(&factors, &new_factors, &mut mask);
+                assert!(any, "the nudge changed a factor");
+                m.rescore_delta(&new_factors, &params, &mask, &mut scores);
+                factors.copy_from_slice(&new_factors);
+                assert_eq!(scores, m.score_all(&conf, &params), "round {round}");
+            }
+        }
+    }
+
+    #[test]
+    fn rescore_delta_empty_mask_is_a_no_op() {
+        let t = paper_table1();
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        let params = DetectParams::default();
+        let conf = [0.9, 0.4];
+        let mut factors = vec![0.0; sp.len()];
+        let mut scores = PairScores::zeroed(pairs.len());
+        m.score_all_into(&conf, &params, &mut factors, &mut scores);
+        let before = scores.clone();
+        let mask = vec![0u64; m.words_per_pair()];
+        // Garbage factors with an empty mask: nothing may be touched.
+        m.rescore_delta(&[0.123; 2], &params, &mask, &mut scores);
+        assert_eq!(scores, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed mask does not match packed width")]
+    fn rescore_delta_rejects_missized_mask() {
+        let t = paper_table1();
+        let cache = PartitionCache::new(&t);
+        let m = RelationMatrix::build(&t, &space(), &cache, &[(0, 1)]);
+        let mut scores = PairScores::zeroed(1);
+        m.rescore_delta(&[0.5, 0.5], &DetectParams::default(), &[], &mut scores);
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! equal to the `pair_dirty_probs_with`/`binary_entropy` scan, and the
 //! parallel build must equal the serial one.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use et_data::{Schema, Table};
 use et_fd::{
-    binary_entropy, pair_dirty_probs_with, pair_relation, violation_factors, DetectParams, Fd,
-    HypothesisSpace, PartitionCache, RelationMatrix,
+    binary_entropy, pair_dirty_probs_with, pair_relation, violation_factors, DeltaScorer,
+    DetectParams, Fd, HypothesisSpace, PairScores, PartitionCache, RelationMatrix,
 };
 
 /// Arbitrary small tables over three low-cardinality columns: enough to
@@ -50,6 +52,17 @@ fn all_pairs(n: usize) -> Vec<(usize, usize)> {
 fn arb_confidences() -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(0u8..=255, 5)
         .prop_map(|bytes| bytes.into_iter().map(|b| f64::from(b) / 255.0).collect())
+}
+
+/// A sequence of sparse confidence updates: each step optionally replaces
+/// some FDs' confidences (`(true, v)`) and leaves the rest untouched —
+/// the shapes a labeling session produces (empty diffs, single-FD nudges,
+/// wide jumps).
+fn arb_update_seq() -> impl Strategy<Value = Vec<Vec<(bool, u8)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((any::<bool>(), 0u8..=255), 5),
+        1..8,
+    )
 }
 
 proptest! {
@@ -113,6 +126,81 @@ proptest! {
                     pa.to_bits()
                 );
             }
+        }
+    }
+
+    /// A [`DeltaScorer`] driven through an arbitrary sequence of sparse
+    /// confidence updates stays bit-for-bit equal to a fresh full rescore
+    /// at every step, for both parameterisations the strategies use
+    /// (exercising slot reuse, empty diffs, single-FD nudges and wide
+    /// jumps in one run).
+    #[test]
+    fn delta_scorer_equals_full_rescore(rows in arb_rows(), updates in arb_update_seq()) {
+        let t = table_of(&rows);
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = Arc::new(RelationMatrix::build(&t, &sp, &cache, &pairs));
+        let mut delta = DeltaScorer::new(Arc::clone(&m));
+        let mut conf = vec![0.5; sp.len()];
+        for step in updates {
+            for (fi, (touch, b)) in step.into_iter().enumerate() {
+                if touch {
+                    conf[fi] = f64::from(b) / 255.0;
+                }
+            }
+            for params in [DetectParams::unsmoothed(), DetectParams::default()] {
+                let want = m.score_all(&conf, &params);
+                let got = delta.scores_for(&conf, &params);
+                for pid in 0..pairs.len() {
+                    prop_assert_eq!(got.dirty[pid].to_bits(), want.dirty[pid].to_bits(),
+                        "dirty diverged at pair {}", pid);
+                    prop_assert_eq!(got.entropy[pid].to_bits(), want.entropy[pid].to_bits(),
+                        "entropy diverged at pair {}", pid);
+                }
+            }
+        }
+    }
+
+    /// `rescore_delta` under an adversarial mask: flagging a *superset* of
+    /// the FDs that actually changed must still land exactly on the full
+    /// rescore (extra mask bits only widen the refolded pair set), and the
+    /// exact mask from `changed_factor_mask` must as well.
+    #[test]
+    fn rescore_delta_superset_mask_is_exact(
+        rows in arb_rows(),
+        old_conf in arb_confidences(),
+        new_conf in arb_confidences(),
+        extra in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        let t = table_of(&rows);
+        let sp = space();
+        let cache = PartitionCache::new(&t);
+        let pairs = all_pairs(t.nrows());
+        let m = RelationMatrix::build(&t, &sp, &cache, &pairs);
+        let params = DetectParams::unsmoothed();
+
+        let mut old_factors = vec![0.0; sp.len()];
+        let mut scores = PairScores::zeroed(pairs.len());
+        m.score_all_into(&old_conf, &params, &mut old_factors, &mut scores);
+
+        let mut new_factors = vec![0.0; sp.len()];
+        let mut want = PairScores::zeroed(pairs.len());
+        m.score_all_into(&new_conf, &params, &mut new_factors, &mut want);
+
+        let mut mask = vec![0u64; m.words_per_pair()];
+        let any = m.changed_factor_mask(&old_factors, &new_factors, &mut mask);
+        prop_assert_eq!(any, mask.iter().any(|&w| w != 0));
+        // Widen the mask with arbitrary extra FDs; correctness must hold.
+        for (fi, e) in extra.into_iter().enumerate() {
+            if e {
+                mask[fi / 32] |= 0b10u64 << ((fi % 32) * 2);
+            }
+        }
+        m.rescore_delta(&new_factors, &params, &mask, &mut scores);
+        for pid in 0..pairs.len() {
+            prop_assert_eq!(scores.dirty[pid].to_bits(), want.dirty[pid].to_bits());
+            prop_assert_eq!(scores.entropy[pid].to_bits(), want.entropy[pid].to_bits());
         }
     }
 

@@ -246,7 +246,22 @@ fn main() -> ExitCode {
         }
     }
 
+    // Server-side view of the same rounds: the store's latency histogram
+    // times only the labeling core (hosted labels + learner update + WAL
+    // append), so the gap to the client-side p50/p99 below is wire +
+    // queueing overhead. Fetched before shutdown, log-bucket estimates.
+    let mut server_lat: Option<(f64, f64, f64)> = None;
     if let Ok(mut c) = Client::connect(&addr) {
+        if let Ok(status) = c.status(None) {
+            let g = |k: &str| status.get(k).and_then(Json::as_f64);
+            if let (Some(samples), Some(p50), Some(p99)) = (
+                g("round_latency_samples"),
+                g("round_latency_p50_ms"),
+                g("round_latency_p99_ms"),
+            ) {
+                server_lat = Some((samples, p50, p99));
+            }
+        }
         let _ = c.shutdown_server();
     }
     handle.wait();
@@ -264,9 +279,14 @@ fn main() -> ExitCode {
         "submit_labels latency over {} calls: p50 {p50:.3}ms p99 {p99:.3}ms mean {mean:.3}ms max {max:.3}ms",
         submit_ms.len()
     ));
+    if let Some((samples, sp50, sp99)) = server_lat {
+        chat(format!(
+            "server-side round latency over {samples:.0} rounds: p50 <= {sp50:.3}ms p99 <= {sp99:.3}ms (log-bucket upper bounds)"
+        ));
+    }
 
     if opts.json {
-        let summary = Json::Obj(vec![
+        let mut fields = vec![
             ("sessions".to_string(), Json::Num(opts.sessions as f64)),
             ("iterations".to_string(), Json::Num(opts.iterations as f64)),
             ("rows".to_string(), Json::Num(opts.rows as f64)),
@@ -286,8 +306,18 @@ fn main() -> ExitCode {
                     ("samples".to_string(), Json::Num(submit_ms.len() as f64)),
                 ]),
             ),
-        ]);
-        println!("{}", summary.encode());
+        ];
+        if let Some((samples, sp50, sp99)) = server_lat {
+            fields.push((
+                "server_round_latency_ms".to_string(),
+                Json::Obj(vec![
+                    ("p50".to_string(), Json::Num(sp50)),
+                    ("p99".to_string(), Json::Num(sp99)),
+                    ("samples".to_string(), Json::Num(samples)),
+                ]),
+            ));
+        }
+        println!("{}", Json::Obj(fields).encode());
     }
 
     if failures > 0 {

@@ -40,4 +40,6 @@ pub use json::{Json, JsonError};
 pub use protocol::{ErrorCode, Request, Response, WirePair};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use spec::{build_parts, derive_seed, run_batch, CreateSessionSpec, SessionParts};
-pub use store::{RecoveryReport, SessionStore, StoreConfig, StoreError};
+pub use store::{
+    LatencyHistogram, LatencySummary, RecoveryReport, SessionStore, StoreConfig, StoreError,
+};

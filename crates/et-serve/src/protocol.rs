@@ -202,6 +202,13 @@ pub enum Response {
         evicted_total: u64,
         /// Sessions refused at capacity since start.
         busy_rejections: u64,
+        /// Rounds timed by the server-side latency histogram.
+        round_latency_samples: u64,
+        /// Estimated p50 of `submit_labels` handling (hosted labeling +
+        /// learner update + WAL append), ms; 0 before any sample.
+        round_latency_p50_ms: f64,
+        /// Estimated p99 of the same, ms; 0 before any sample.
+        round_latency_p99_ms: f64,
     },
     /// Session dropped.
     Closed {
@@ -553,6 +560,9 @@ impl Response {
                 created_total,
                 evicted_total,
                 busy_rejections,
+                round_latency_samples,
+                round_latency_p50_ms,
+                round_latency_p99_ms,
             } => ok_reply(
                 "server_status",
                 vec![
@@ -561,6 +571,12 @@ impl Response {
                     ("created_total", Json::Num(*created_total as f64)),
                     ("evicted_total", Json::Num(*evicted_total as f64)),
                     ("busy_rejections", Json::Num(*busy_rejections as f64)),
+                    (
+                        "round_latency_samples",
+                        Json::Num(*round_latency_samples as f64),
+                    ),
+                    ("round_latency_p50_ms", Json::Num(*round_latency_p50_ms)),
+                    ("round_latency_p99_ms", Json::Num(*round_latency_p99_ms)),
                 ],
             ),
             Response::Closed { session } => {

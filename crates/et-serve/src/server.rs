@@ -277,7 +277,10 @@ fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
         }
         Request::NextPairs { session } => run_on_session(ctx, session, next_pairs),
         Request::SubmitLabels { session, labels } => {
-            run_on_session(ctx, session, move |live| submit_labels(live, labels))
+            let latency = ctx.store.round_latency();
+            run_on_session(ctx, session, move |live| {
+                submit_labels(live, labels, Some(latency))
+            })
         }
         Request::Status { session: Some(id) } => run_on_session(ctx, id, |live| {
             let report = live.state.convergence_so_far();
@@ -300,6 +303,9 @@ fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
                 created_total: snap.counters.created_total,
                 evicted_total: snap.counters.evicted_total,
                 busy_rejections: snap.counters.busy_rejections,
+                round_latency_samples: snap.round_latency.samples,
+                round_latency_p50_ms: snap.round_latency.p50_ms,
+                round_latency_p99_ms: snap.round_latency.p99_ms,
             }
         }
         Request::Close { session } => match ctx.store.remove(session) {
@@ -393,7 +399,11 @@ fn next_pairs(live: &mut crate::store::LiveSession) -> Response {
     }
 }
 
-fn submit_labels(live: &mut crate::store::LiveSession, labels: Option<Vec<bool>>) -> Response {
+fn submit_labels(
+    live: &mut crate::store::LiveSession,
+    labels: Option<Vec<bool>>,
+    latency: Option<&crate::store::LatencyHistogram>,
+) -> Response {
     let Some(expected) = live.state.pending().map(|p| p.sample().len()) else {
         return err(
             ErrorCode::WrongPhase,
@@ -423,7 +433,10 @@ fn submit_labels(live: &mut crate::store::LiveSession, labels: Option<Vec<bool>>
     } = live;
     // The hosted annotator always observes the presented sample (its belief
     // tracks the data); its labels are used unless the caller supplied
-    // their own.
+    // their own. The round timer covers exactly that core step — hosted
+    // labeling plus the learner/belief update and WAL append — not the
+    // cadence snapshot or reply encoding.
+    let round_start = std::time::Instant::now();
     let hosted = match state.label_pending(trainer) {
         Ok(l) => l,
         Err(e) => return err(ErrorCode::WrongPhase, &e.to_string()),
@@ -431,6 +444,9 @@ fn submit_labels(live: &mut crate::store::LiveSession, labels: Option<Vec<bool>>
     let applied = labels.unwrap_or(hosted);
     match state.apply_labels(trainer, learner, &applied) {
         Ok(metrics) => {
+            if let Some(h) = latency {
+                h.record(round_start.elapsed());
+            }
             let metrics = metrics.clone();
             // Best-effort cadence snapshot: the WAL append inside
             // apply_labels already made the batch durable, so a failed

@@ -94,6 +94,79 @@ pub struct StoreCounters {
     pub busy_rejections: u64,
 }
 
+/// Lock-free log₂-bucket histogram of server-side per-round label
+/// latencies: the `submit_labels` handling inside the session lock
+/// (hosted labeling, the learner/belief update, the WAL append).
+///
+/// Reported quantiles are bucket *upper bounds*, so a p50/p99 is an
+/// estimate within 2x of the true value — the right fidelity for a
+/// smoke-level "did durability just cost 10x" signal without taking a
+/// lock or allocating on the submit path.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples whose `floor(log2(µs))` is `i`.
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Sub-microsecond samples land in the 1µs
+    /// bucket; durations beyond `u64::MAX` microseconds saturate.
+    pub fn record(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        let idx = 63 - us.leading_zeros() as usize;
+        // Bucket before count: a concurrent reader that has seen the count
+        // is guaranteed to find at least that many bucketed samples.
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed); // ord: Relaxed, monotonic diagnostic counter
+        self.count.fetch_add(1, Ordering::Release); // ord: Release pairs with the Acquire in samples()
+    }
+
+    /// Samples recorded so far.
+    pub fn samples(&self) -> u64 {
+        self.count.load(Ordering::Acquire) // ord: Acquire pairs with the Release in record()
+    }
+
+    /// Nearest-rank quantile in milliseconds (bucket upper bound), or
+    /// `None` before the first sample. `q` is clamped to `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> Option<f64> {
+        let total = self.samples();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b.load(Ordering::Relaxed)); // ord: Relaxed, diagnostic counter snapshot
+            if seen >= rank {
+                // Upper bound of bucket i is 2^(i+1) microseconds.
+                return Some(2f64.powi(i as i32 + 1) / 1000.0);
+            }
+        }
+        None
+    }
+}
+
+/// p50/p99 summary of the round-latency histogram, as carried by
+/// [`StoreSnapshot`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Samples recorded so far.
+    pub samples: u64,
+    /// Estimated median (bucket upper bound), ms; 0 before any sample.
+    pub p50_ms: f64,
+    /// Estimated 99th percentile, ms; 0 before any sample.
+    pub p99_ms: f64,
+}
+
 /// What [`SessionStore::recover_from_disk`] found under the data
 /// directory.
 #[derive(Debug, Clone, Default)]
@@ -115,6 +188,8 @@ pub struct StoreSnapshot {
     pub capacity: usize,
     /// Lifetime counters.
     pub counters: StoreCounters,
+    /// Server-side per-round label latency summary.
+    pub round_latency: LatencySummary,
 }
 
 /// The sharded store.
@@ -126,6 +201,7 @@ pub struct SessionStore {
     created_total: AtomicU64,
     evicted_total: AtomicU64,
     busy_rejections: AtomicU64,
+    round_latency: LatencyHistogram,
 }
 
 /// Recovers the guard from a poisoned mutex: shard state is a plain map,
@@ -154,7 +230,14 @@ impl SessionStore {
             created_total: AtomicU64::new(0),
             evicted_total: AtomicU64::new(0),
             busy_rejections: AtomicU64::new(0),
+            round_latency: LatencyHistogram::new(),
         }
+    }
+
+    /// The server-side per-round label latency histogram (fed by the
+    /// serve layer around `label_pending` + `apply_labels`).
+    pub fn round_latency(&self) -> &LatencyHistogram {
+        &self.round_latency
     }
 
     fn shard_of(&self, id: u64) -> &Mutex<HashMap<u64, LiveSession>> {
@@ -480,6 +563,11 @@ impl SessionStore {
                 created_total: self.created_total.load(Ordering::Relaxed), // ord: Relaxed, diagnostic counter snapshot
                 evicted_total: self.evicted_total.load(Ordering::Relaxed), // ord: Relaxed, diagnostic counter snapshot
                 busy_rejections: self.busy_rejections.load(Ordering::Relaxed), // ord: Relaxed, diagnostic counter snapshot
+            },
+            round_latency: LatencySummary {
+                samples: self.round_latency.samples(),
+                p50_ms: self.round_latency.quantile_ms(0.50).unwrap_or(0.0),
+                p99_ms: self.round_latency.quantile_ms(0.99).unwrap_or(0.0),
             },
         }
     }

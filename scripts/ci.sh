@@ -69,13 +69,21 @@ else
   cargo test -q -p et-serve --test crash_recovery
 fi
 
-echo "==> bench harness compiles + bench_json smoke (quick profile)"
+echo "==> bench harness compiles + bench_json smoke (quick profile, tax budget ${ET_BENCH_TAX_BUDGET_SECS:=30}s)"
+# Beyond "the baseline regenerates", the quick profile gates the delta
+# rescoring path: if re-folding only the changed-FD pairs is ever slower
+# than a full rescore, the cache is broken (or stale-slot thrash crept in)
+# and CI should say so before a checked-in BENCH diff has to. The tax
+# fixture generation inside bench_json is bounded by the exported
+# wall-clock budget; over budget it skips the tax family loudly.
+export ET_BENCH_TAX_BUDGET_SECS
 cargo build -q --release -p et-bench --benches --bins
 BENCH_OUT="$(mktemp /tmp/et-bench-substrate.XXXXXX.json)"
 if ! ./target/release/bench_json --quick --out "$BENCH_OUT" \
+  --gate round_latency_delta_vs_full_speedup:1.0 \
   || [ ! -s "$BENCH_OUT" ]; then
-  echo "FATAL: bench_json failed to produce $BENCH_OUT" >&2
-  echo "       (the checked-in BENCH_substrate.json baseline cannot be regenerated)" >&2
+  echo "FATAL: bench_json failed to produce $BENCH_OUT or a gate failed" >&2
+  echo "       (baseline unregenerable, or delta rescoring lost to a full rescore)" >&2
   exit 1
 fi
 rm -f "$BENCH_OUT"
