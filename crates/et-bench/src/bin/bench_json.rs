@@ -798,8 +798,14 @@ fn main() {
             "scoring_naive_pool",
             "scoring_matrix_score",
         ),
+        // Parity, not a speedup claim: the alloc-free entry point exists
+        // for the L12 no-alloc hot-path contract, and on small fixtures
+        // the allocating path's fresh pages can tie or edge it out. The
+        // ratio is still emitted (ci gates it at >= 0.95) but it no longer
+        // carries the `_speedup` suffix that would flag sub-1.0 as a
+        // regression.
         (
-            "alloc_free_score_speedup",
+            "alloc_free_score_parity",
             "scoring_matrix_score",
             "scoring_matrix_score_alloc_free",
         ),

@@ -1,0 +1,336 @@
+//! Machine-readable serving benchmarks: the event-loop transport versus
+//! the blocking thread-per-connection transport under an open-loop load,
+//! emitted as `BENCH_serve.json`.
+//!
+//! ```text
+//! bench_serve                    # full profile, writes BENCH_serve.json
+//! bench_serve --quick            # CI smoke profile (fewer conns, short window)
+//! bench_serve --out path.json    # alternate output path
+//! bench_serve --gate NAME:MIN    # exit 1 if derived NAME < MIN (repeatable)
+//! ```
+//!
+//! Each run spawns an in-process server (event or blocking transport, same
+//! worker count) and drives it with `et_serve::loadgen`: C connections,
+//! each holding one live session and offering a fixed per-connection round
+//! rate on a fixed-increment virtual schedule. The workload is the
+//! signaling-game shape — long-lived, mostly-idle annotation dialogues —
+//! where the blocking server's throughput is capped by its worker count
+//! (it can only converse with `workers` clients at once) while the event
+//! server converses with all C. The headline derived ratio,
+//! `event_loop_vs_blocking_throughput_speedup`, compares completed-round
+//! throughput at the largest connection count; p99/p999 submit latency is
+//! reported per run from the same log₂-µs histograms the server uses
+//! internally.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use et_serve::{run_load, spawn, CreateSessionSpec, LoadConfig, ServeMode, ServerConfig};
+
+struct Cli {
+    quick: bool,
+    out: String,
+    /// `(derived name, minimum)` floors enforced after emission.
+    gates: Vec<(String, f64)>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        quick: false,
+        out: "BENCH_serve.json".to_string(),
+        gates: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cli.quick = true,
+            "--out" => cli.out = args.next().ok_or("--out needs a path")?,
+            "--gate" => {
+                let spec = args.next().ok_or("--gate needs NAME:MIN")?;
+                let (name, min) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--gate `{spec}` is not NAME:MIN"))?;
+                let min: f64 = min
+                    .parse()
+                    .map_err(|e| format!("--gate `{spec}`: bad minimum: {e}"))?;
+                cli.gates.push((name.to_string(), min));
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_serve [--quick] [--out PATH] [--gate NAME:MIN]...");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Exits loudly; benches have no error channel worth plumbing.
+fn fail(what: &str, e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {what}: {e}");
+    std::process::exit(1);
+}
+
+/// One measured server-under-load run.
+struct RunResult {
+    transport: &'static str,
+    connections: usize,
+    offered_rps: f64,
+    report: et_serve::LoadReport,
+}
+
+/// Spawns a fresh in-process server in `mode`, offers `connections` ×
+/// `rate` rounds/s for `window`, and tears the server down.
+fn run_one(
+    mode: ServeMode,
+    transport: &'static str,
+    connections: usize,
+    workers: usize,
+    rate: f64,
+    window: Duration,
+    rows: usize,
+) -> RunResult {
+    let mut cfg = ServerConfig {
+        workers,
+        mode,
+        ..ServerConfig::default()
+    };
+    cfg.store.capacity = connections + 8;
+    cfg.store.base_seed = 2;
+    let handle = match spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => fail("spawn server", e),
+    };
+    // Sessions must not exhaust their iteration budget mid-window.
+    let iterations = (rate * window.as_secs_f64()).ceil() as usize + 16;
+    let load = LoadConfig {
+        addr: handle.addr().to_string(),
+        connections,
+        rate,
+        window,
+        grace: Duration::from_secs(1),
+        spec: CreateSessionSpec {
+            rows,
+            iterations,
+            ..CreateSessionSpec::default()
+        },
+    };
+    eprintln!("  {transport} x {connections} conns ({workers} workers, {rate} rounds/s/conn)...");
+    let report = match run_load(&load) {
+        Ok(r) => r,
+        Err(e) => fail("load run", e),
+    };
+    handle.shutdown();
+    handle.wait();
+    eprintln!(
+        "    {:.1} rounds/s completed of {:.1} offered; {}/{} conns served; \
+         submit p99 {:.3}ms",
+        report.throughput_rps,
+        connections as f64 * rate,
+        report.conns_served,
+        connections,
+        report.submit.p99_ms,
+    );
+    RunResult {
+        transport,
+        connections,
+        offered_rps: connections as f64 * rate,
+        report,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Whether a derived entry counts as a regression: every `*_speedup`
+/// ratio is "event path over blocking path", so below 1.0 means the
+/// event loop lost to thread-per-connection and the JSON says so.
+fn is_regressed(name: &str, value: f64) -> bool {
+    name.ends_with("_speedup") && value < 1.0
+}
+
+fn op_json(s: &et_serve::loadgen::OpStats) -> String {
+    format!(
+        "{{\"p50\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}, \"samples\": {}}}",
+        s.p50_ms, s.p99_ms, s.p999_ms, s.samples
+    )
+}
+
+fn emit_json(
+    cli: &Cli,
+    workers: usize,
+    rate: f64,
+    window: Duration,
+    rows: usize,
+    runs: &[RunResult],
+    derived: &[(&str, f64)],
+) -> String {
+    let mut j = String::new();
+    j.push_str("{\n");
+    j.push_str("  \"schema\": \"et-bench/serve-v1\",\n");
+    j.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if cli.quick { "quick" } else { "full" }
+    ));
+    j.push_str(&format!(
+        "  \"workload\": {{\"workers\": {workers}, \"rate_per_conn\": {rate}, \
+         \"window_secs\": {}, \"rows\": {rows}, \"open_loop\": true}},\n",
+        window.as_secs_f64()
+    ));
+    j.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        j.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"connections\": {}, \"offered_rps\": {:.1}, \
+             \"throughput_rps\": {:.1}, \"rounds_completed\": {}, \"conns_served\": {}, \
+             \"next_pairs_ms\": {}, \"submit_ms\": {}}}{}\n",
+            r.transport,
+            r.connections,
+            r.offered_rps,
+            r.report.throughput_rps,
+            r.report.rounds_completed,
+            r.report.conns_served,
+            op_json(&r.report.next_pairs),
+            op_json(&r.report.submit),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  ],\n");
+    j.push_str("  \"derived\": {\n");
+    for (i, (name, v)) in derived.iter().enumerate() {
+        j.push_str(&format!(
+            "    \"{}\": {{\"value\": {:.3}{}}}{}\n",
+            json_escape(name),
+            v,
+            if is_regressed(name, *v) {
+                ", \"regressed\": true"
+            } else {
+                ""
+            },
+            if i + 1 < derived.len() { "," } else { "" }
+        ));
+    }
+    j.push_str("  }\n}\n");
+    j
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Equal worker count across transports is the point of the comparison:
+    // the blocking server's concurrency cap IS its worker pool, while the
+    // event server's workers only bound concurrent CPU-bound dispatches.
+    let workers = 4;
+    let rows = 40;
+    let rate = 1.0;
+    let (conn_ladder, top, window) = if cli.quick {
+        (vec![32usize], 128usize, Duration::from_secs(2))
+    } else {
+        (vec![64usize, 256], 512usize, Duration::from_secs(5))
+    };
+
+    eprintln!(
+        "bench_serve: open-loop load, {workers} workers, {rate} rounds/s/conn, \
+         {}s window, rows {rows}",
+        window.as_secs_f64()
+    );
+    let mut runs: Vec<RunResult> = Vec::new();
+    // Connections-vs-throughput family for the event transport.
+    for &c in &conn_ladder {
+        runs.push(run_one(
+            ServeMode::Event,
+            "event",
+            c,
+            workers,
+            rate,
+            window,
+            rows,
+        ));
+    }
+    // The head-to-head at the top connection count, both transports.
+    runs.push(run_one(
+        ServeMode::Event,
+        "event",
+        top,
+        workers,
+        rate,
+        window,
+        rows,
+    ));
+    runs.push(run_one(
+        ServeMode::Blocking,
+        "blocking",
+        top,
+        workers,
+        rate,
+        window,
+        rows,
+    ));
+
+    let find = |transport: &str, conns: usize| {
+        runs.iter()
+            .find(|r| r.transport == transport && r.connections == conns)
+    };
+    let mut derived: Vec<(&str, f64)> = Vec::new();
+    if let (Some(ev), Some(bl)) = (find("event", top), find("blocking", top)) {
+        if bl.report.throughput_rps > 0.0 {
+            derived.push((
+                "event_loop_vs_blocking_throughput_speedup",
+                ev.report.throughput_rps / bl.report.throughput_rps,
+            ));
+        }
+        derived.push(("event_p99_submit_ms", ev.report.submit.p99_ms));
+        derived.push(("blocking_p99_submit_ms", bl.report.submit.p99_ms));
+        // Fraction of the offered load the event transport completed at
+        // the top connection count (1.0 = kept up perfectly).
+        if ev.offered_rps > 0.0 {
+            derived.push((
+                "event_offered_load_completion",
+                ev.report.throughput_rps / ev.offered_rps,
+            ));
+        }
+    }
+
+    let json = emit_json(&cli, workers, rate, window, rows, &runs, &derived);
+    let write = std::fs::File::create(&cli.out).and_then(|mut fh| fh.write_all(json.as_bytes()));
+    match write {
+        Ok(()) => {
+            for (name, v) in &derived {
+                let flag = if is_regressed(name, *v) {
+                    "  (regressed)"
+                } else {
+                    ""
+                };
+                eprintln!("  {name}: {v:.3}{flag}");
+            }
+            println!("wrote {}", cli.out);
+        }
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", cli.out);
+            std::process::exit(1);
+        }
+    }
+
+    let mut gate_failed = false;
+    for (name, min) in &cli.gates {
+        match derived.iter().find(|(n, _)| n == name) {
+            Some((_, v)) if v >= min => eprintln!("  gate {name}: {v:.3} >= {min:.3} ok"),
+            Some((_, v)) => {
+                eprintln!("  gate {name}: {v:.3} < {min:.3} FAILED");
+                gate_failed = true;
+            }
+            None => {
+                eprintln!("  gate {name}: no such derived value FAILED");
+                gate_failed = true;
+            }
+        }
+    }
+    if gate_failed {
+        std::process::exit(1);
+    }
+}

@@ -22,6 +22,7 @@ fn main() {
             base_seed: 7,
             ..StoreConfig::default()
         },
+        ..ServerConfig::default()
     };
     let handle = spawn(cfg).expect("bind ephemeral port");
     let addr = handle.addr().to_string();

@@ -13,14 +13,28 @@
 //! load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N]
 //!            [--data-dir PATH] [--fsync always|never] [--json]
 //! ```
+//!
+//! With `--connections N` it switches to **load-generator mode**: an
+//! in-process server (event transport by default, `--blocking` for the
+//! thread-per-connection fallback) driven by the open-loop engine in
+//! `et_serve::loadgen` — N concurrent connections offering `--rate`
+//! rounds/s each over a `--window`-second measurement window, reporting
+//! throughput and per-op p50/p99/p999 latencies:
+//!
+//! ```text
+//! load_smoke --connections N [--rate R] [--window SECS] [--workers N]
+//!            [--blocking] [--rows N] [--seed N] [--json]
+//! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use et_core::StrategyKind;
 use et_durable::FsyncPolicy;
-use et_serve::{spawn, Client, CreateSessionSpec, Json, ServerConfig};
+use et_serve::{
+    run_load, spawn, Client, CreateSessionSpec, Json, LoadConfig, ServeMode, ServerConfig,
+};
 
 struct Options {
     sessions: usize,
@@ -30,6 +44,12 @@ struct Options {
     data_dir: Option<PathBuf>,
     fsync: FsyncPolicy,
     json: bool,
+    /// Load-generator mode when set: concurrent connections to hold open.
+    connections: Option<usize>,
+    rate: f64,
+    window_secs: u64,
+    workers: usize,
+    blocking: bool,
 }
 
 impl Default for Options {
@@ -42,6 +62,11 @@ impl Default for Options {
             data_dir: None,
             fsync: FsyncPolicy::Always,
             json: false,
+            connections: None,
+            rate: 2.0,
+            window_secs: 5,
+            workers: 4,
+            blocking: false,
         }
     }
 }
@@ -56,6 +81,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             i += 1;
             continue;
         }
+        if flag == "--blocking" {
+            opts.blocking = true;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} requires a value"))?;
@@ -63,6 +93,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--data-dir" => opts.data_dir = Some(PathBuf::from(value)),
             "--fsync" => {
                 opts.fsync = FsyncPolicy::from_name(value).map_err(|e| format!("--fsync: {e}"))?;
+            }
+            "--rate" => {
+                opts.rate = value
+                    .parse()
+                    .map_err(|_| format!("--rate must be a number, got {value:?}"))?;
             }
             _ => {
                 let parsed: u64 = value
@@ -73,6 +108,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "--iterations" => opts.iterations = parsed as usize,
                     "--rows" => opts.rows = parsed as usize,
                     "--seed" => opts.seed = parsed,
+                    "--connections" => opts.connections = Some(parsed as usize),
+                    "--window" => opts.window_secs = parsed,
+                    "--workers" => opts.workers = parsed as usize,
                     other => return Err(format!("unknown flag {other:?}")),
                 }
             }
@@ -148,6 +186,126 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank.clamp(1, sorted_ms.len()) - 1]
 }
 
+/// Load-generator mode: in-process server + the open-loop engine.
+fn run_loadgen(opts: &Options, connections: usize) -> ExitCode {
+    let mut cfg = ServerConfig {
+        workers: opts.workers.max(1),
+        mode: if opts.blocking {
+            ServeMode::Blocking
+        } else {
+            ServeMode::Event
+        },
+        ..ServerConfig::default()
+    };
+    cfg.store.capacity = connections + 8;
+    cfg.store.base_seed = opts.seed;
+    let window = Duration::from_secs(opts.window_secs.max(1));
+    let handle = match spawn(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("load_smoke: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Size sessions so they cannot run out of iterations mid-window.
+    let iterations = (opts.rate * window.as_secs_f64()).ceil() as usize + 16;
+    let load = LoadConfig {
+        addr: handle.addr().to_string(),
+        connections,
+        rate: opts.rate,
+        window,
+        grace: Duration::from_secs(1),
+        spec: CreateSessionSpec {
+            rows: opts.rows,
+            iterations,
+            ..CreateSessionSpec::default()
+        },
+    };
+    eprintln!(
+        "offering {} conns x {} rounds/s for {}s against {} ({} transport, {} workers)",
+        connections,
+        opts.rate,
+        opts.window_secs,
+        load.addr,
+        if opts.blocking { "blocking" } else { "event" },
+        opts.workers.max(1),
+    );
+    let report = match run_load(&load) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("load_smoke: load run failed: {e}");
+            handle.shutdown();
+            handle.wait();
+            return ExitCode::FAILURE;
+        }
+    };
+    handle.shutdown();
+    handle.wait();
+
+    let line = format!(
+        "throughput {:.1} rounds/s ({} rounds, {}/{} conns served); \
+         next_pairs p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms ({} samples); \
+         submit p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms ({} samples)",
+        report.throughput_rps,
+        report.rounds_completed,
+        report.conns_served,
+        report.connections,
+        report.next_pairs.p50_ms,
+        report.next_pairs.p99_ms,
+        report.next_pairs.p999_ms,
+        report.next_pairs.samples,
+        report.submit.p50_ms,
+        report.submit.p99_ms,
+        report.submit.p999_ms,
+        report.submit.samples,
+    );
+    if opts.json {
+        eprintln!("{line}");
+        let op = |s: &et_serve::loadgen::OpStats| {
+            Json::Obj(vec![
+                ("p50".to_string(), Json::Num(s.p50_ms)),
+                ("p99".to_string(), Json::Num(s.p99_ms)),
+                ("p999".to_string(), Json::Num(s.p999_ms)),
+                ("samples".to_string(), Json::Num(s.samples as f64)),
+            ])
+        };
+        let fields = vec![
+            ("connections".to_string(), Json::Num(connections as f64)),
+            ("rate_per_conn".to_string(), Json::Num(report.rate_per_conn)),
+            ("window_secs".to_string(), Json::Num(report.window_secs)),
+            (
+                "transport".to_string(),
+                Json::Str(if opts.blocking { "blocking" } else { "event" }.to_string()),
+            ),
+            ("workers".to_string(), Json::Num(opts.workers.max(1) as f64)),
+            (
+                "rounds_completed".to_string(),
+                Json::Num(report.rounds_completed as f64),
+            ),
+            (
+                "throughput_rps".to_string(),
+                Json::Num(report.throughput_rps),
+            ),
+            (
+                "conns_served".to_string(),
+                Json::Num(report.conns_served as f64),
+            ),
+            ("next_pairs_ms".to_string(), op(&report.next_pairs)),
+            ("submit_ms".to_string(), op(&report.submit)),
+        ];
+        println!("{}", Json::Obj(fields).encode());
+    } else {
+        println!("{line}");
+    }
+    // The run is meaningful as long as someone was served; comparative
+    // judgements (event vs blocking) belong to bench_serve.
+    if report.rounds_completed == 0 {
+        eprintln!("load_smoke: no rounds completed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -156,11 +314,16 @@ fn main() -> ExitCode {
             eprintln!("load_smoke: {msg}");
             eprintln!(
                 "usage: load_smoke [--sessions N] [--iterations N] [--rows N] [--seed N] \
-                 [--data-dir PATH] [--fsync always|never] [--json]"
+                 [--data-dir PATH] [--fsync always|never] [--json] \
+                 | load_smoke --connections N [--rate R] [--window SECS] \
+                 [--workers N] [--blocking] [--rows N] [--seed N] [--json]"
             );
             return ExitCode::FAILURE;
         }
     };
+    if let Some(connections) = opts.connections {
+        return run_loadgen(&opts, connections.max(1));
+    }
     // With --json, stdout carries exactly one JSON object; everything
     // human-shaped goes to stderr.
     let chat = |line: String| {

@@ -5,23 +5,35 @@
 //! serve [--addr HOST:PORT] [--workers N] [--capacity N]
 //!       [--idle-timeout-secs N] [--seed N]
 //!       [--data-dir PATH] [--fsync always|never] [--snapshot-every N]
+//!       [--blocking] [--shards N] [--conn-idle-timeout-secs N]
+//!       [--max-line-bytes N]
 //! ```
 //!
 //! With `--data-dir`, sessions are journaled (write-ahead label log plus
 //! periodic snapshots) and recovered on start; without it the store is
 //! purely in-memory, exactly as before.
+//!
+//! The transport defaults to the readiness-based event loop; `--blocking`
+//! selects the portable thread-per-connection path.
+//! `--conn-idle-timeout-secs` bounds how long a connection may go without
+//! completing a request line (slow-loris defense; 0 disables it).
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use et_durable::FsyncPolicy;
-use et_serve::{spawn, ServerConfig};
+use et_serve::{spawn, ServeMode, ServerConfig};
 
 fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig::default();
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
+        if flag == "--blocking" {
+            cfg.mode = ServeMode::Blocking;
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("{flag} requires a value"))?;
@@ -60,6 +72,22 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|_| format!("--snapshot-every must be a number, got {value:?}"))?;
             }
+            "--shards" => {
+                cfg.shards = value
+                    .parse()
+                    .map_err(|_| format!("--shards must be a number, got {value:?}"))?;
+            }
+            "--conn-idle-timeout-secs" => {
+                let secs: u64 = value.parse().map_err(|_| {
+                    format!("--conn-idle-timeout-secs must be a number, got {value:?}")
+                })?;
+                cfg.conn_idle_timeout = Duration::from_secs(secs);
+            }
+            "--max-line-bytes" => {
+                cfg.max_line_bytes = value
+                    .parse()
+                    .map_err(|_| format!("--max-line-bytes must be a number, got {value:?}"))?;
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 2;
@@ -76,7 +104,9 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: serve [--addr HOST:PORT] [--workers N] [--capacity N] \
                  [--idle-timeout-secs N] [--seed N] \
-                 [--data-dir PATH] [--fsync always|never] [--snapshot-every N]"
+                 [--data-dir PATH] [--fsync always|never] [--snapshot-every N] \
+                 [--blocking] [--shards N] [--conn-idle-timeout-secs N] \
+                 [--max-line-bytes N]"
             );
             return ExitCode::FAILURE;
         }

@@ -1,0 +1,531 @@
+//! Readiness primitives for the event-driven transport: a hand-rolled
+//! `epoll` wrapper, an `eventfd` waker, `SO_REUSEPORT` listener sharding,
+//! and a coarse timer wheel for idle/slow-loris connection timeouts.
+//!
+//! The repo's no-deps discipline rules out `mio`/`libc`; instead this
+//! module declares the handful of C symbols it needs directly (std already
+//! links libc on Linux, so they resolve at link time) and owns every file
+//! descriptor through [`std::os::fd::OwnedFd`]. Only Linux is supported:
+//! on other targets the module is a loud compile-time error — the blocking
+//! transport (`--blocking`) is the portable path and the only thing a
+//! non-Linux port needs to keep working.
+//!
+//! Nothing in here touches session logic; see DESIGN.md §16 for how the
+//! transport, routing, and domain layers stack.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "et-serve's readiness-based event loop is built on Linux epoll. \
+     Port hint: add a kqueue implementation of `Poller`/`Waker` behind \
+     `#[cfg(target_os = \"macos\")]`, or build only the blocking transport."
+);
+
+use std::ffi::{c_int, c_void};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::{Duration, Instant};
+
+// The exact C ABI surface this module uses. Signatures mirror the Linux
+// manpages; `sockaddr` pointers are passed as `*const c_void` because the
+// only caller builds the one concrete layout it needs (`SockAddrIn`).
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        optname: c_int,
+        optval: *const c_void,
+        optlen: u32,
+    ) -> c_int;
+    fn bind(fd: c_int, addr: *const c_void, addrlen: u32) -> c_int;
+    fn listen(fd: c_int, backlog: c_int) -> c_int;
+    fn getsockname(fd: c_int, addr: *mut c_void, addrlen: *mut u32) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0x8_0000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EFD_CLOEXEC: c_int = 0x8_0000;
+const EFD_NONBLOCK: c_int = 0x800;
+const AF_INET: c_int = 2;
+const SOCK_STREAM: c_int = 1;
+const SOCK_CLOEXEC: c_int = 0x8_0000;
+const SOL_SOCKET: c_int = 1;
+const SO_REUSEADDR: c_int = 2;
+const SO_REUSEPORT: c_int = 15;
+const LISTEN_BACKLOG: c_int = 1024;
+
+/// `struct epoll_event`. The kernel packs it on x86-64 only.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    /// The `epoll_data_t` union, used exclusively as a `u64` token.
+    data: u64,
+}
+
+/// One readiness notification out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or a peer half-close, which also needs a read to observe).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error/hangup: the connection is dead or dying.
+    pub hangup: bool,
+}
+
+fn last_errno() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Checks a C return value, mapping `-1` to the thread's errno.
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(last_errno())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// A readiness queue: one `epoll` instance.
+pub struct Poller {
+    ep: OwnedFd,
+}
+
+impl Poller {
+    /// Creates the epoll instance.
+    ///
+    /// # Errors
+    /// The raw `epoll_create1` failure.
+    pub fn new() -> io::Result<Poller> {
+        // SAFETY: epoll_create1 takes no pointers; a non-negative return is
+        // a real fd that we immediately take ownership of.
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        // SAFETY: fd was just returned by the kernel and is owned nowhere
+        // else.
+        Ok(Poller {
+            ep: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. `fd` validity is the caller's contract.
+        cvt(unsafe { epoll_ctl(self.ep.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    fn interest_bits(readable: bool, writable: bool) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if readable {
+            bits |= EPOLLIN;
+        }
+        if writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Registers `fd` under `token` with the given interest set.
+    ///
+    /// # Errors
+    /// The raw `epoll_ctl` failure.
+    pub fn add(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Self::interest_bits(readable, writable),
+            token,
+        )
+    }
+
+    /// Replaces the interest set of an already-registered `fd`.
+    ///
+    /// # Errors
+    /// The raw `epoll_ctl` failure.
+    pub fn modify(&self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Self::interest_bits(readable, writable),
+            token,
+        )
+    }
+
+    /// Deregisters `fd`.
+    ///
+    /// # Errors
+    /// The raw `epoll_ctl` failure.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until readiness or `timeout` (None blocks indefinitely),
+    /// appending decoded events to `out`. Returns how many arrived.
+    /// `EINTR` is retried internally.
+    ///
+    /// # Errors
+    /// The raw `epoll_wait` failure.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        const MAX_EVENTS: usize = 256;
+        let mut buf = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let timeout_ms: c_int = match timeout {
+            // Round up so a 0 < t < 1ms timeout does not busy-spin.
+            Some(t) => {
+                let round_up = u128::from(t.subsec_nanos() % 1_000_000 != 0);
+                c_int::try_from(t.as_millis().saturating_add(round_up)).unwrap_or(c_int::MAX)
+            }
+            None => -1,
+        };
+        loop {
+            // SAFETY: `buf` is a stack array of MAX_EVENTS entries and the
+            // kernel writes at most `maxevents` of them.
+            let n = unsafe {
+                epoll_wait(
+                    self.ep.as_raw_fd(),
+                    buf.as_mut_ptr(),
+                    c_int::try_from(MAX_EVENTS).unwrap_or(c_int::MAX),
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let e = last_errno();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(e);
+            }
+            let n = usize::try_from(n).unwrap_or(0);
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            return Ok(n);
+        }
+    }
+}
+
+/// A cross-thread wake-up for a [`Poller`]: an `eventfd` registered like
+/// any other fd. Writing from any thread makes the owning loop's
+/// `epoll_wait` return immediately — this is what bounds shutdown latency
+/// to one loop iteration (no stop-flag polling anywhere).
+pub struct Waker {
+    fd: OwnedFd,
+}
+
+impl Waker {
+    /// Creates the eventfd.
+    ///
+    /// # Errors
+    /// The raw `eventfd` failure.
+    pub fn new() -> io::Result<Waker> {
+        // SAFETY: eventfd takes no pointers; a non-negative return is a
+        // real fd that we immediately take ownership of.
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        // SAFETY: fd was just returned by the kernel and is owned nowhere
+        // else.
+        Ok(Waker {
+            fd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    /// The fd to register with the loop's poller (read interest).
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wakes the owning loop. Callable from any thread; never blocks (a
+    /// full eventfd counter already guarantees a pending wake-up).
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        // SAFETY: the buffer is 8 valid bytes on this stack frame; EAGAIN
+        // (counter at max) is fine because the loop is already waking.
+        let _ = unsafe {
+            write(
+                self.fd.as_raw_fd(),
+                std::ptr::addr_of!(one).cast::<c_void>(),
+                8,
+            )
+        };
+    }
+
+    /// Drains pending wake-ups so the next `wake` edge-triggers again.
+    pub fn drain(&self) {
+        let mut buf = 0u64;
+        // SAFETY: the buffer is 8 valid bytes on this stack frame; the fd
+        // is non-blocking so the read never parks the loop.
+        let _ = unsafe {
+            read(
+                self.fd.as_raw_fd(),
+                std::ptr::addr_of_mut!(buf).cast::<c_void>(),
+                8,
+            )
+        };
+    }
+}
+
+/// IPv4 `struct sockaddr_in`, the one sockaddr layout the reuse-port path
+/// builds by hand.
+#[repr(C)]
+struct SockAddrIn {
+    sin_family: u16,
+    /// Big-endian port.
+    sin_port: u16,
+    /// Big-endian address.
+    sin_addr: u32,
+    sin_zero: [u8; 8],
+}
+
+fn set_opt(fd: c_int, opt: c_int) -> io::Result<()> {
+    let one: c_int = 1;
+    // SAFETY: optval points at a live c_int of the advertised length.
+    cvt(unsafe {
+        setsockopt(
+            fd,
+            SOL_SOCKET,
+            opt,
+            std::ptr::addr_of!(one).cast::<c_void>(),
+            4,
+        )
+    })?;
+    Ok(())
+}
+
+/// Binds `n` independent IPv4 listeners to the same address with
+/// `SO_REUSEPORT`, so the kernel load-balances incoming connections
+/// across event shards with no user-space handoff. Port 0 resolves once
+/// (on the first socket) and the rest bind the resolved port.
+///
+/// # Errors
+/// Any socket/bind/listen failure — including a non-IPv4 address — at
+/// which point the caller falls back to a single acceptor thread feeding
+/// the shards by fd hash.
+pub fn reuseport_listeners(addr: &SocketAddr, n: usize) -> io::Result<Vec<TcpListener>> {
+    let SocketAddr::V4(v4) = addr else {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "SO_REUSEPORT sharding is wired for IPv4 only",
+        ));
+    };
+    let mut port = v4.port();
+    let mut out = Vec::with_capacity(n.max(1));
+    for _ in 0..n.max(1) {
+        // SAFETY: socket takes no pointers; ownership is taken immediately
+        // below so every early return closes the fd.
+        let fd = cvt(unsafe { socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0) })?;
+        // SAFETY: fd was just returned by the kernel and is owned nowhere
+        // else.
+        let owned = unsafe { OwnedFd::from_raw_fd(fd) };
+        set_opt(fd, SO_REUSEADDR)?;
+        set_opt(fd, SO_REUSEPORT)?;
+        let sa = SockAddrIn {
+            sin_family: u16::try_from(AF_INET).unwrap_or(2),
+            sin_port: port.to_be(),
+            sin_addr: u32::from(*v4.ip()).to_be(),
+            sin_zero: [0; 8],
+        };
+        let len = u32::try_from(std::mem::size_of::<SockAddrIn>()).unwrap_or(16);
+        // SAFETY: `sa` is a fully-initialised sockaddr_in of the advertised
+        // length, alive for the duration of the call.
+        cvt(unsafe { bind(fd, std::ptr::addr_of!(sa).cast::<c_void>(), len) })?;
+        cvt(unsafe { listen(fd, LISTEN_BACKLOG) })?;
+        if port == 0 {
+            // Learn the kernel-assigned port so the remaining shards can
+            // join the same reuse-port group.
+            let mut got = SockAddrIn {
+                sin_family: 0,
+                sin_port: 0,
+                sin_addr: 0,
+                sin_zero: [0; 8],
+            };
+            let mut got_len = len;
+            // SAFETY: `got` is a sockaddr_in-sized out-buffer and got_len
+            // carries its true length in and out.
+            cvt(unsafe {
+                getsockname(
+                    fd,
+                    std::ptr::addr_of_mut!(got).cast::<c_void>(),
+                    &mut got_len,
+                )
+            })?;
+            port = u16::from_be(got.sin_port);
+        }
+        // SAFETY: converting the OwnedFd we hold into a TcpListener
+        // transfers ownership exactly once.
+        out.push(unsafe { TcpListener::from_raw_fd(std::os::fd::IntoRawFd::into_raw_fd(owned)) });
+    }
+    Ok(out)
+}
+
+/// A coarse hashed timer wheel driving connection idle timeouts.
+///
+/// Entries are `(token, deadline)` pairs hashed into `slots` buckets of
+/// `tick` width. Expiry is *lazy*: [`TimerWheel::expire`] hands back every
+/// token whose bucket has passed, and the owner re-checks the connection's
+/// real activity clock — a refreshed connection is simply rescheduled. The
+/// wheel therefore never needs cancellation, and scheduling is O(1).
+pub struct TimerWheel {
+    slots: Vec<Vec<u64>>,
+    tick: Duration,
+    /// Slot index the cursor is standing on.
+    cursor: usize,
+    /// Wheel time: the instant `cursor`'s slot began.
+    cursor_start: Instant,
+}
+
+impl TimerWheel {
+    /// A wheel of `slots` buckets, each `tick` wide.
+    pub fn new(tick: Duration, slots: usize) -> TimerWheel {
+        let slots = slots.max(2);
+        TimerWheel {
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            tick: tick.max(Duration::from_millis(1)),
+            cursor: 0,
+            cursor_start: Instant::now(),
+        }
+    }
+
+    /// Schedules `token` to surface roughly `after` from now (rounded up
+    /// to the wheel tick; delays past one full rotation clamp to it).
+    pub fn schedule(&mut self, token: u64, after: Duration) {
+        let ticks = (after.as_nanos() / self.tick.as_nanos().max(1)).saturating_add(1);
+        let ticks = usize::try_from(ticks)
+            .unwrap_or(usize::MAX)
+            .min(self.slots.len() - 1);
+        let slot = (self.cursor + ticks) % self.slots.len();
+        self.slots[slot].push(token);
+    }
+
+    /// How long until the next slot boundary — the natural `epoll_wait`
+    /// timeout for the owning loop.
+    pub fn until_next_tick(&self, now: Instant) -> Duration {
+        let elapsed = now.duration_since(self.cursor_start);
+        self.tick
+            .saturating_sub(elapsed)
+            .max(Duration::from_millis(1))
+    }
+
+    /// Advances the cursor over every slot whose window has fully passed,
+    /// appending their tokens to `expired`.
+    pub fn expire(&mut self, now: Instant, expired: &mut Vec<u64>) {
+        // Bounded by one full rotation per call: a long stall expires
+        // every slot exactly once instead of looping the wheel repeatedly.
+        for _ in 0..self.slots.len() {
+            if now.duration_since(self.cursor_start) < self.tick {
+                break;
+            }
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.cursor_start += self.tick;
+            expired.append(&mut self.slots[self.cursor]);
+        }
+    }
+
+    /// The wheel's tick width.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poller_sees_waker_edge() {
+        let poller = Poller::new().expect("epoll");
+        let waker = Waker::new().expect("eventfd");
+        poller
+            .add(waker.as_raw_fd(), 7, true, false)
+            .expect("register waker");
+        let mut events = Vec::new();
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .expect("wait");
+        assert_eq!(n, 0);
+        waker.wake();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1000)))
+            .expect("wait");
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        // Drained: quiet again.
+        events.clear();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .expect("wait");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn reuseport_shards_share_one_port() {
+        let addr: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+        let listeners = reuseport_listeners(&addr, 3).expect("reuseport trio");
+        assert_eq!(listeners.len(), 3);
+        let ports: Vec<u16> = listeners
+            .iter()
+            .map(|l| l.local_addr().expect("local addr").port())
+            .collect();
+        assert!(ports[0] != 0);
+        assert!(ports.iter().all(|&p| p == ports[0]), "{ports:?}");
+        // A plain connect reaches one of the shards' accept queues.
+        let probe = std::net::TcpStream::connect(("127.0.0.1", ports[0]));
+        assert!(probe.is_ok());
+    }
+
+    #[test]
+    fn reuseport_rejects_ipv6() {
+        let addr: SocketAddr = "[::1]:0".parse().expect("addr");
+        assert!(reuseport_listeners(&addr, 2).is_err());
+    }
+
+    #[test]
+    fn wheel_expires_after_rounded_delay() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(5), 8);
+        wheel.schedule(42, Duration::from_millis(1));
+        let mut expired = Vec::new();
+        wheel.expire(Instant::now(), &mut expired);
+        assert!(expired.is_empty(), "not due yet");
+        std::thread::sleep(Duration::from_millis(25));
+        wheel.expire(Instant::now(), &mut expired);
+        assert_eq!(expired, vec![42]);
+    }
+
+    #[test]
+    fn wheel_clamps_long_delays_to_one_rotation() {
+        let mut wheel = TimerWheel::new(Duration::from_millis(1), 4);
+        wheel.schedule(9, Duration::from_secs(3600));
+        std::thread::sleep(Duration::from_millis(10));
+        let mut expired = Vec::new();
+        wheel.expire(Instant::now(), &mut expired);
+        assert_eq!(expired, vec![9], "clamped to the rotation horizon");
+    }
+}

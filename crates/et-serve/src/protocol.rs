@@ -9,7 +9,8 @@
 //!           | "status" | "close_session" | "shutdown"
 //! response := {"ok": true, "reply": KIND, ...} | {"ok": false, "error": CODE, "message": STR}
 //! CODE     := "parse_error" | "bad_request" | "unknown_session" | "server_busy"
-//!           | "wrong_phase" | "invalid_config" | "shutting_down"
+//!           | "wrong_phase" | "invalid_config" | "shutting_down" | "internal"
+//!           | "protocol_error"
 //! ```
 //!
 //! See DESIGN.md §9 for the full per-op member tables and the session
@@ -76,6 +77,10 @@ pub enum ErrorCode {
     /// A server-side failure (e.g. durable storage refused a write). The
     /// session is untouched; the request may be retried.
     Internal,
+    /// The byte stream violated the framing contract (e.g. a request line
+    /// over the configured maximum length). The server closes the
+    /// connection after this reply.
+    ProtocolError,
 }
 
 impl ErrorCode {
@@ -90,6 +95,7 @@ impl ErrorCode {
             ErrorCode::InvalidConfig => "invalid_config",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
+            ErrorCode::ProtocolError => "protocol_error",
         }
     }
 
@@ -104,6 +110,7 @@ impl ErrorCode {
             ErrorCode::InvalidConfig,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::ProtocolError,
         ]
         .into_iter()
         .find(|c| c.as_str() == name)
@@ -722,6 +729,7 @@ mod tests {
             ErrorCode::InvalidConfig,
             ErrorCode::ShuttingDown,
             ErrorCode::Internal,
+            ErrorCode::ProtocolError,
         ] {
             assert_eq!(ErrorCode::from_name(code.as_str()), Some(code));
         }

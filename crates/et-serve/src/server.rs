@@ -1,39 +1,83 @@
-//! The TCP server: an accept thread feeding a fixed worker pool over a
-//! channel, a shared [`SessionStore`], and graceful shutdown on a control
-//! signal (the wire `shutdown` op or [`ServerHandle::shutdown`]).
+//! The TCP server. Two transports share one routing/domain layer:
 //!
-//! Concurrency model: one connection is handled start-to-finish by one
-//! worker (connections are long-lived annotation dialogues, not one-shot
-//! RPCs), so the worker count bounds concurrent *clients*; concurrent
-//! *sessions* are bounded separately by the store capacity. All blocking
-//! reads carry short timeouts so every thread notices the stop flag
-//! within a fraction of a second.
+//! * **Event** (default, Linux): readiness-based shards. Each shard owns an
+//!   epoll instance, an eventfd waker, a timer wheel, and a set of
+//!   non-blocking connections with per-connection read/write buffers
+//!   (`conn.rs`). Accepting is sharded via `SO_REUSEPORT` listeners — one
+//!   per shard, kernel-balanced — with a single-acceptor fallback that
+//!   distributes accepted streams to shards by fd hash. CPU work (session
+//!   step logic) is dispatched to a fixed worker pool over a job channel;
+//!   replies come back over per-shard completion queues plus a waker edge.
+//!   A shard keeps at most **one request in flight per connection**, so
+//!   per-session ordering is enforced at the completion queue and event
+//!   arrival order never reaches session logic (DESIGN.md §16).
+//! * **Blocking** (`--blocking`): the portable thread-per-connection path.
+//!   One worker handles a connection start-to-finish with fully blocking
+//!   reads; shutdown interrupts those reads by `shutdown(2)`-ing every
+//!   registered socket — there is no stop-flag polling in either
+//!   transport.
+//!
+//! Worker count bounds concurrent *CPU-bound requests* in event mode (and
+//! concurrent clients in blocking mode); concurrent *sessions* are bounded
+//! separately by the store capacity.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use et_core::StepError;
 
+use crate::conn::{Conn, FramingError, ReadOutcome, DEFAULT_MAX_LINE_BYTES};
+use crate::event::{reuseport_listeners, Event, Poller, TimerWheel, Waker};
 use crate::protocol::{ErrorCode, Request, Response, WirePair};
 use crate::store::{RecoveryReport, SessionStore, StoreConfig, StoreError};
 
-/// How often blocked threads wake to check the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(250);
+/// Which transport carries the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Readiness-based event loop (epoll); the default.
+    Event,
+    /// Thread-per-connection with blocking IO; the portable fallback.
+    Blocking,
+}
+
+/// Shard-local token of the shard's own listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Shard-local token of the shard's eventfd waker.
+const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection. Tokens are monotonically
+/// increasing and never reused, so a completion for a closed connection is
+/// recognisably stale and dropped.
+const FIRST_CONN_TOKEN: u64 = 2;
 
 /// Server parameters.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (= max concurrent client connections).
+    /// Worker threads (event mode: max concurrent CPU-bound requests;
+    /// blocking mode: max concurrent client connections).
     pub workers: usize,
     /// Session-store limits and seeding.
     pub store: StoreConfig,
+    /// Transport selection.
+    pub mode: ServeMode,
+    /// Event shards (each owns an epoll instance and, where
+    /// `SO_REUSEPORT` binds, its own listener). Ignored in blocking mode.
+    pub shards: usize,
+    /// Drop a connection that completes no request line for this long.
+    /// Dribbled bytes without a newline do **not** refresh the clock, so
+    /// this is also the slow-loris bound. Zero disables the timeout.
+    pub conn_idle_timeout: Duration,
+    /// Per-request-line byte ceiling; longer lines draw a typed
+    /// `protocol_error` and the connection is closed.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +86,10 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 4,
             store: StoreConfig::default(),
+            mode: ServeMode::Event,
+            shards: 2,
+            conn_idle_timeout: Duration::from_secs(300),
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
         }
     }
 }
@@ -50,7 +98,9 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    ctl: Arc<Ctl>,
     accept_join: Option<JoinHandle<()>>,
+    shard_joins: Vec<JoinHandle<()>>,
     worker_joins: Vec<JoinHandle<()>>,
     ctx: Arc<ServerCtx>,
     recovery: RecoveryReport,
@@ -68,13 +118,13 @@ impl ServerHandle {
         &self.recovery
     }
 
-    /// Raises the stop flag and unblocks the accept loop. Idempotent;
-    /// returns immediately — pair with [`ServerHandle::wait`].
+    /// Raises the stop flag and wakes every transport thread (eventfd per
+    /// shard in event mode; socket shutdown per connection in blocking
+    /// mode), so shutdown latency is bounded by one loop iteration rather
+    /// than a poll interval. Idempotent; returns immediately — pair with
+    /// [`ServerHandle::wait`].
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Release); // ord: Release pairs with Acquire loads in the accept/worker loops
-                                                  // A throwaway connection unblocks the accept() call so the
-                                                  // listener thread can observe the flag.
-        let _ = TcpStream::connect(self.addr);
+        self.ctl.begin_shutdown();
     }
 
     /// Blocks until every server thread has exited, then flushes every
@@ -82,6 +132,9 @@ impl ServerHandle {
     /// recovery nothing to replay.
     pub fn wait(mut self) {
         if let Some(h) = self.accept_join.take() {
+            let _ = h.join();
+        }
+        for h in self.shard_joins.drain(..) {
             let _ = h.join();
         }
         for h in self.worker_joins.drain(..) {
@@ -92,32 +145,168 @@ impl ServerHandle {
 
     /// True once shutdown has been requested.
     pub fn is_stopping(&self) -> bool {
-        self.stop.load(Ordering::Acquire) // ord: Acquire pairs with the Release store in shutdown()
+        self.stop.load(Ordering::Acquire) // ord: Acquire pairs with the Release store in begin_shutdown
     }
 }
 
+/// The routing/domain context shared with the worker pool — deliberately
+/// transport-free so `dispatch` cannot observe event ordering.
 struct ServerCtx {
     store: SessionStore,
     stop: Arc<AtomicBool>,
-    addr: SocketAddr,
 }
 
-impl ServerCtx {
-    /// Raises the stop flag and pokes the listener so the accept loop
-    /// (blocked in `accept`) wakes up and observes it.
+/// One request handed from a shard to the worker pool.
+struct Job {
+    shard: usize,
+    token: u64,
+    line: String,
+}
+
+/// One finished request travelling back from a worker to its shard.
+struct Completion {
+    token: u64,
+    /// Encoded reply, newline-terminated.
+    payload: String,
+    /// The reply was `shutting_down`: the shard begins server shutdown
+    /// *after* queueing the reply, so the goodbye is never lost.
+    shutdown: bool,
+}
+
+/// Per-shard cross-thread state: the waker plus the two queues other
+/// threads feed the shard through (worker completions, acceptor handoff).
+struct ShardMailbox {
+    waker: Waker,
+    completions: Mutex<Vec<Completion>>,
+    handoff: Mutex<Vec<TcpStream>>,
+}
+
+impl ShardMailbox {
+    fn new() -> std::io::Result<ShardMailbox> {
+        Ok(ShardMailbox {
+            waker: Waker::new()?,
+            completions: Mutex::new(Vec::new()),
+            handoff: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+fn lock_or_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Transport-specific shutdown plumbing.
+enum Transport {
+    /// Wake every shard; poke the acceptor thread if one exists.
+    Event {
+        shards: Vec<Arc<ShardMailbox>>,
+        poke_acceptor: bool,
+    },
+    /// Poke the acceptor and `shutdown(2)` every live connection so
+    /// blocking reads return immediately.
+    Blocking {
+        conns: Mutex<HashMap<u64, TcpStream>>,
+        next_id: AtomicU64,
+    },
+}
+
+/// Shutdown control shared by the handle and the transport threads.
+struct Ctl {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+    transport: Transport,
+}
+
+impl Ctl {
+    /// Raises the stop flag and delivers a wake-up to every thread that
+    /// could be parked, bounding shutdown latency by one loop iteration.
     fn begin_shutdown(&self) {
-        self.stop.store(true, Ordering::Release); // ord: Release pairs with Acquire loads in the accept/worker loops
-        let _ = TcpStream::connect(self.addr);
+        self.stop.store(true, Ordering::Release); // ord: Release pairs with Acquire loads in shard/accept/conn loops
+        match &self.transport {
+            Transport::Event {
+                shards,
+                poke_acceptor,
+            } => {
+                for shard in shards {
+                    shard.waker.wake();
+                }
+                if *poke_acceptor {
+                    // A throwaway connection unblocks the acceptor's
+                    // blocking accept() so it can observe the flag.
+                    let _ = TcpStream::connect(self.addr);
+                }
+            }
+            Transport::Blocking { conns, .. } => {
+                let _ = TcpStream::connect(self.addr);
+                let guard = lock_or_recover(conns);
+                for stream in guard.values() {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+            }
+        }
+    }
+
+    /// Registers a blocking-mode connection for shutdown interruption.
+    /// Returns `None` in event mode (shards own their connections).
+    fn register_blocking_conn(&self, stream: &TcpStream) -> Option<u64> {
+        let Transport::Blocking { conns, next_id } = &self.transport else {
+            return None;
+        };
+        let clone = stream.try_clone().ok()?;
+        let id = next_id.fetch_add(1, Ordering::Relaxed); // ord: Relaxed — the id is only a map key, no ordering needed
+        lock_or_recover(conns).insert(id, clone);
+        Some(id)
+    }
+
+    fn deregister_blocking_conn(&self, id: u64) {
+        if let Transport::Blocking { conns, .. } = &self.transport {
+            lock_or_recover(conns).remove(&id);
+        }
     }
 }
 
 /// Binds and starts the server; returns once the listener is live.
 ///
 /// # Errors
-/// Propagates the bind failure.
+/// Propagates bind/epoll/eventfd setup failures.
 pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&cfg.addr)?;
-    let addr = listener.local_addr()?;
+    match cfg.mode {
+        ServeMode::Event => spawn_event(cfg),
+        ServeMode::Blocking => spawn_blocking(cfg),
+    }
+}
+
+fn resolve_addr(addr: &str) -> std::io::Result<SocketAddr> {
+    addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "bind address resolved to nothing",
+        )
+    })
+}
+
+fn spawn_event(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let shards_n = cfg.shards.max(1);
+    let sock_addr = resolve_addr(&cfg.addr)?;
+
+    // Preferred: one SO_REUSEPORT listener per shard, kernel-balanced.
+    // Fallback (e.g. IPv6 bind): one acceptor thread hashing streams out.
+    let (shard_listeners, fallback_listener, addr) = match reuseport_listeners(&sock_addr, shards_n)
+    {
+        Ok(listeners) => {
+            let addr = listeners[0].local_addr()?;
+            (Some(listeners), None, addr)
+        }
+        Err(_) => {
+            let listener = TcpListener::bind(&cfg.addr)?;
+            let addr = listener.local_addr()?;
+            (None, Some(listener), addr)
+        }
+    };
+
     let stop = Arc::new(AtomicBool::new(false));
     let store = SessionStore::new(cfg.store);
     // Recover journaled sessions before any worker can serve traffic, so a
@@ -126,17 +315,430 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let ctx = Arc::new(ServerCtx {
         store,
         stop: stop.clone(),
+    });
+
+    let mut mailboxes = Vec::with_capacity(shards_n);
+    for _ in 0..shards_n {
+        mailboxes.push(Arc::new(ShardMailbox::new()?));
+    }
+    let ctl = Arc::new(Ctl {
+        stop: stop.clone(),
         addr,
+        transport: Transport::Event {
+            shards: mailboxes.clone(),
+            poke_acceptor: fallback_listener.is_some(),
+        },
+    });
+
+    let (job_tx, job_rx) = mpsc::channel::<Job>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let workers = cfg.workers.max(1);
+    let mut worker_joins = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let job_rx = job_rx.clone();
+        let ctx = ctx.clone();
+        let mailboxes = mailboxes.clone();
+        worker_joins.push(std::thread::spawn(move || {
+            worker_pool_loop(&job_rx, &ctx, &mailboxes);
+        }));
+    }
+
+    let accept_join = fallback_listener.map(|listener| {
+        let mailboxes = mailboxes.clone();
+        let accept_stop = stop.clone();
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                // ord: Acquire sees the flag raised before the wake-up connect
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let fd = stream.as_raw_fd();
+                    let shard = usize::try_from(fd).unwrap_or(0) % mailboxes.len();
+                    lock_or_recover(&mailboxes[shard].handoff).push(stream);
+                    mailboxes[shard].waker.wake();
+                }
+            }
+        })
+    });
+
+    let mut shard_listeners = shard_listeners;
+    let mut shard_joins = Vec::with_capacity(shards_n);
+    for (index, mailbox) in mailboxes.iter().enumerate() {
+        let listener = shard_listeners.as_mut().and_then(|v| {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.remove(0))
+            }
+        });
+        let params = ShardParams {
+            index,
+            listener,
+            mailbox: mailbox.clone(),
+            ctx: ctx.clone(),
+            ctl: ctl.clone(),
+            job_tx: job_tx.clone(),
+            idle_timeout: cfg.conn_idle_timeout,
+            max_line: cfg.max_line_bytes,
+        };
+        shard_joins.push(std::thread::spawn(move || shard_loop(params)));
+    }
+    // The shards own the only senders now: when the last shard exits, the
+    // channel disconnects and the blocked workers drain out.
+    drop(job_tx);
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        ctl,
+        accept_join,
+        shard_joins,
+        worker_joins,
+        ctx,
+        recovery,
+    })
+}
+
+fn worker_pool_loop(
+    job_rx: &Arc<Mutex<Receiver<Job>>>,
+    ctx: &Arc<ServerCtx>,
+    mailboxes: &[Arc<ShardMailbox>],
+) {
+    loop {
+        let next = {
+            let guard = lock_or_recover(job_rx);
+            // Blocking recv: no polling. The channel disconnects (Err)
+            // once every shard has exited, which is the worker's exit
+            // signal.
+            guard.recv()
+        };
+        let Ok(job) = next else { return };
+        let response = dispatch(&job.line, ctx);
+        let shutdown = matches!(response, Response::ShuttingDown);
+        let mut payload = response.encode();
+        payload.push('\n');
+        if let Some(mailbox) = mailboxes.get(job.shard) {
+            lock_or_recover(&mailbox.completions).push(Completion {
+                token: job.token,
+                payload,
+                shutdown,
+            });
+            mailbox.waker.wake();
+        }
+    }
+}
+
+/// Everything one event shard needs.
+struct ShardParams {
+    index: usize,
+    /// The shard's own `SO_REUSEPORT` listener, absent under the
+    /// single-acceptor fallback.
+    listener: Option<TcpListener>,
+    mailbox: Arc<ShardMailbox>,
+    ctx: Arc<ServerCtx>,
+    ctl: Arc<Ctl>,
+    job_tx: Sender<Job>,
+    idle_timeout: Duration,
+    max_line: usize,
+}
+
+/// Mutable per-shard state threaded through the helpers below.
+struct ShardState {
+    poller: Poller,
+    wheel: TimerWheel,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+fn shard_loop(p: ShardParams) {
+    let Ok(poller) = Poller::new() else {
+        // A shard that cannot poll cannot serve; take the server down
+        // loudly rather than silently shrinking capacity.
+        p.ctl.begin_shutdown();
+        return;
+    };
+    if poller
+        .add(p.mailbox.waker.as_raw_fd(), WAKER_TOKEN, true, false)
+        .is_err()
+    {
+        p.ctl.begin_shutdown();
+        return;
+    }
+    if let Some(listener) = &p.listener {
+        if listener.set_nonblocking(true).is_err()
+            || poller
+                .add(listener.as_raw_fd(), LISTENER_TOKEN, true, false)
+                .is_err()
+        {
+            p.ctl.begin_shutdown();
+            return;
+        }
+    }
+
+    // Wheel tick: fine enough that a timeout fires within ~1/16 of the
+    // configured idle window; rotation (24 slots) comfortably exceeds it.
+    // A zero timeout disables expiry entirely (the wheel still paces the
+    // epoll timeout so completions/wakes are never starved).
+    let timeouts_enabled = !p.idle_timeout.is_zero();
+    let tick = if timeouts_enabled {
+        (p.idle_timeout / 16).max(Duration::from_millis(10))
+    } else {
+        Duration::from_secs(60)
+    };
+    let mut s = ShardState {
+        poller,
+        wheel: TimerWheel::new(tick, 24),
+        conns: HashMap::new(),
+        next_token: FIRST_CONN_TOKEN,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    let mut expired: Vec<u64> = Vec::new();
+
+    loop {
+        events.clear();
+        let timeout = s.wheel.until_next_tick(Instant::now());
+        if s.poller.wait(&mut events, Some(timeout)).is_err() {
+            p.ctl.begin_shutdown();
+            return;
+        }
+        let now = Instant::now();
+
+        for ev in events.iter().copied() {
+            match ev.token {
+                LISTENER_TOKEN => accept_burst(&p, &mut s, now),
+                WAKER_TOKEN => {
+                    p.mailbox.waker.drain();
+                    let handoff = std::mem::take(&mut *lock_or_recover(&p.mailbox.handoff));
+                    for stream in handoff {
+                        register_conn(&p, &mut s, stream, now);
+                    }
+                }
+                token => conn_event(&p, &mut s, token, ev, now),
+            }
+        }
+
+        // Completions: queue replies, pump the next buffered request, and
+        // only then act on a shutdown marker — the goodbye reply is
+        // already in the write buffer (and usually on the wire) by then.
+        let completions = std::mem::take(&mut *lock_or_recover(&p.mailbox.completions));
+        let mut begin_shutdown = false;
+        for completion in completions {
+            if let Some(conn) = s.conns.get_mut(&completion.token) {
+                conn.in_flight = false;
+                conn.queue_write(completion.payload.as_bytes());
+                pump_conn(&p, conn);
+                if !finish_io(&s.poller, conn) {
+                    close_conn(&mut s, completion.token);
+                }
+            }
+            begin_shutdown |= completion.shutdown;
+        }
+        if begin_shutdown {
+            p.ctl.begin_shutdown();
+        }
+
+        // ord: Acquire pairs with the Release store in begin_shutdown
+        if p.ctx.stop.load(Ordering::Acquire) {
+            // Best-effort final flush so queued replies (shutdown acks in
+            // particular) reach the kernel before the sockets drop.
+            for conn in s.conns.values_mut() {
+                let _ = conn.flush_ready();
+            }
+            return;
+        }
+
+        if timeouts_enabled {
+            expired.clear();
+            s.wheel.expire(now, &mut expired);
+            for token in expired.iter().copied() {
+                // Lazy cancellation: re-check the real activity clock; a
+                // refreshed connection is simply rescheduled.
+                let action = match s.conns.get(&token) {
+                    Some(conn) => {
+                        let idle = now.duration_since(conn.last_activity);
+                        if idle >= p.idle_timeout {
+                            None
+                        } else {
+                            Some(p.idle_timeout - idle)
+                        }
+                    }
+                    None => continue,
+                };
+                match action {
+                    None => close_conn(&mut s, token),
+                    Some(remaining) => s.wheel.schedule(token, remaining),
+                }
+            }
+        }
+    }
+}
+
+fn accept_burst(p: &ShardParams, s: &mut ShardState, now: Instant) {
+    let Some(listener) = &p.listener else { return };
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => register_conn(p, s, stream, now),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn register_conn(p: &ShardParams, s: &mut ShardState, stream: TcpStream, now: Instant) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let token = s.next_token;
+    s.next_token += 1;
+    if s.poller
+        .add(stream.as_raw_fd(), token, true, false)
+        .is_err()
+    {
+        return;
+    }
+    s.conns
+        .insert(token, Conn::new(stream, token, p.max_line, now));
+    if !p.idle_timeout.is_zero() {
+        s.wheel.schedule(token, p.idle_timeout);
+    }
+}
+
+fn close_conn(s: &mut ShardState, token: u64) {
+    if let Some(conn) = s.conns.remove(&token) {
+        let _ = s.poller.delete(conn.stream().as_raw_fd());
+        // Dropping the Conn closes the socket; the wheel entry (if any)
+        // expires harmlessly against the now-absent token.
+    }
+}
+
+fn conn_event(p: &ShardParams, s: &mut ShardState, token: u64, ev: Event, now: Instant) {
+    let Some(conn) = s.conns.get_mut(&token) else {
+        return;
+    };
+    if ev.hangup {
+        close_conn(s, token);
+        return;
+    }
+    if ev.readable && !conn.close_after_flush {
+        match conn.read_ready(now) {
+            Err(_) => {
+                close_conn(s, token);
+                return;
+            }
+            Ok(ReadOutcome::Protocol(FramingError::Oversized { max })) => {
+                let reply = Response::Error {
+                    code: ErrorCode::ProtocolError,
+                    message: format!("request line exceeds {max} bytes"),
+                };
+                let mut payload = reply.encode();
+                payload.push('\n');
+                conn.queue_write(payload.as_bytes());
+                conn.close_after_flush = true;
+            }
+            Ok(ReadOutcome::Eof { .. }) => {
+                conn.eof = true;
+                pump_conn(p, conn);
+            }
+            Ok(ReadOutcome::Progress { .. }) => pump_conn(p, conn),
+        }
+    }
+    let conn = match s.conns.get_mut(&token) {
+        Some(c) => c,
+        None => return,
+    };
+    if !finish_io(&s.poller, conn) {
+        close_conn(s, token);
+    }
+}
+
+/// Hands the next buffered request line to the worker pool, keeping at
+/// most one in flight per connection (per-session ordering).
+fn pump_conn(p: &ShardParams, conn: &mut Conn) {
+    while !conn.in_flight {
+        let Some(line) = conn.inbox.pop_front() else {
+            return;
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        conn.in_flight = true;
+        // A send can only fail once the workers have exited, which only
+        // happens during shutdown; the connection is torn down with the
+        // shard shortly after.
+        let _ = p.job_tx.send(Job {
+            shard: p.index,
+            token: conn.token,
+            line: trimmed.to_string(),
+        });
+    }
+}
+
+/// Flushes queued output, maintains write interest, and decides whether
+/// the connection lives on. Returns `false` when it must be closed.
+fn finish_io(poller: &Poller, conn: &mut Conn) -> bool {
+    let flushed = match conn.flush_ready() {
+        Ok(f) => f,
+        Err(_) => return false,
+    };
+    if flushed && conn.close_after_flush {
+        return false;
+    }
+    if flushed && conn.eof && !conn.in_flight && conn.inbox.is_empty() {
+        // Peer half-closed and everything owed has been answered.
+        return false;
+    }
+    let want_write = conn.has_pending_output();
+    if want_write != conn.want_write {
+        if poller
+            .modify(conn.stream().as_raw_fd(), conn.token, true, want_write)
+            .is_err()
+        {
+            return false;
+        }
+        conn.want_write = want_write;
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Blocking transport (the portable fallback behind --blocking).
+// ---------------------------------------------------------------------------
+
+fn spawn_blocking(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let store = SessionStore::new(cfg.store);
+    let recovery = store.recover_from_disk();
+    let ctx = Arc::new(ServerCtx {
+        store,
+        stop: stop.clone(),
+    });
+    let ctl = Arc::new(Ctl {
+        stop: stop.clone(),
+        addr,
+        transport: Transport::Blocking {
+            conns: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        },
     });
 
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     let workers = cfg.workers.max(1);
+    let max_line = cfg.max_line_bytes;
     let mut worker_joins = Vec::with_capacity(workers);
     for _ in 0..workers {
         let rx = rx.clone();
         let ctx = ctx.clone();
-        worker_joins.push(std::thread::spawn(move || worker_loop(&rx, &ctx)));
+        let ctl = ctl.clone();
+        worker_joins.push(std::thread::spawn(move || {
+            blocking_worker_loop(&rx, &ctx, &ctl, max_line);
+        }));
     }
 
     let accept_stop = stop.clone();
@@ -154,81 +756,115 @@ pub fn spawn(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
                 }
             }
         }
-        // Dropping `tx` disconnects the channel; idle workers drain out.
+        // Dropping `tx` disconnects the channel; blocked workers drain out.
     });
 
     Ok(ServerHandle {
         addr,
         stop,
+        ctl,
         accept_join: Some(accept_join),
+        shard_joins: Vec::new(),
         worker_joins,
         ctx,
         recovery,
     })
 }
 
-fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, ctx: &Arc<ServerCtx>) {
+fn blocking_worker_loop(
+    rx: &Arc<Mutex<Receiver<TcpStream>>>,
+    ctx: &Arc<ServerCtx>,
+    ctl: &Arc<Ctl>,
+    max_line: usize,
+) {
     loop {
-        // ord: Acquire pairs with the shutdown Release store
-        if ctx.stop.load(Ordering::Acquire) {
-            return;
-        }
         let next = {
-            let guard = match rx.lock() {
-                Ok(g) => g,
-                Err(poisoned) => poisoned.into_inner(),
-            };
-            guard.recv_timeout(POLL_INTERVAL)
+            let guard = lock_or_recover(rx);
+            // Blocking recv: no polling. Disconnection (acceptor exited
+            // and dropped the sender) is the exit signal.
+            guard.recv()
         };
         match next {
-            Ok(stream) => handle_connection(stream, ctx),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, ctx: &Arc<ServerCtx>) {
-    // Short read timeouts keep the worker responsive to the stop flag even
-    // while a client sits idle mid-dialogue.
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
-    }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut write_half = stream;
-    let mut line = String::new();
-    loop {
-        // ord: Acquire pairs with the shutdown Release store
-        if ctx.stop.load(Ordering::Acquire) {
-            return;
-        }
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    let response = dispatch(trimmed, ctx);
-                    let mut out = response.encode();
-                    out.push('\n');
-                    if write_half.write_all(out.as_bytes()).is_err() || write_half.flush().is_err()
-                    {
-                        return;
-                    }
-                }
-                line.clear();
-            }
-            // Timeout mid-wait: partial bytes (if any) stay appended in
-            // `line`; loop to re-check the stop flag and keep reading.
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Ok(stream) => handle_connection(stream, ctx, ctl, max_line),
             Err(_) => return,
         }
     }
 }
+
+fn handle_connection(stream: TcpStream, ctx: &Arc<ServerCtx>, ctl: &Arc<Ctl>, max_line: usize) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    // Register for shutdown interruption *before* the first blocking read,
+    // then re-check the flag to close the register/shutdown race.
+    let reg = ctl.register_blocking_conn(&stream);
+    // ord: Acquire pairs with the Release store in begin_shutdown
+    if ctx.stop.load(Ordering::Acquire) {
+        let _ = stream.shutdown(Shutdown::Both);
+        if let Some(id) = reg {
+            ctl.deregister_blocking_conn(id);
+        }
+        return;
+    }
+    let mut reader = BufReader::new(read_half);
+    let mut write_half = stream;
+    let mut line = String::new();
+    loop {
+        // ord: Acquire pairs with the Release store in begin_shutdown
+        if ctx.stop.load(Ordering::Acquire) {
+            break;
+        }
+        line.clear();
+        // Bound each line read so an unterminated request cannot balloon
+        // memory: read at most ceiling+2 bytes, then check for the
+        // newline.
+        let limit = u64::try_from(max_line)
+            .unwrap_or(u64::MAX)
+            .saturating_add(2);
+        match (&mut reader).take(limit).read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                if !line.ends_with('\n') && line.len() > max_line {
+                    let reply = Response::Error {
+                        code: ErrorCode::ProtocolError,
+                        message: format!("request line exceeds {max_line} bytes"),
+                    };
+                    let mut out = reply.encode();
+                    out.push('\n');
+                    let _ = write_half.write_all(out.as_bytes());
+                    let _ = write_half.flush();
+                    break;
+                }
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                let response = dispatch(trimmed, ctx);
+                let shutting_down = matches!(response, Response::ShuttingDown);
+                let mut out = response.encode();
+                out.push('\n');
+                if write_half.write_all(out.as_bytes()).is_err() || write_half.flush().is_err() {
+                    break;
+                }
+                // Transport triggers shutdown only after the goodbye reply
+                // is on the wire.
+                if shutting_down {
+                    ctl.begin_shutdown();
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(id) = reg {
+        ctl.deregister_blocking_conn(id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing + domain logic, shared by both transports. Nothing below this
+// line knows how bytes arrive.
+// ---------------------------------------------------------------------------
 
 fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
     let request = match Request::parse_line(line) {
@@ -312,10 +948,9 @@ fn dispatch(line: &str, ctx: &Arc<ServerCtx>) -> Response {
             Ok(()) => Response::Closed { session },
             Err(_) => err(ErrorCode::UnknownSession, &format!("no session {session}")),
         },
-        Request::Shutdown => {
-            ctx.begin_shutdown();
-            Response::ShuttingDown
-        }
+        // The transport (not this routing layer) begins shutdown once the
+        // reply is queued, so the goodbye is never lost to a racing exit.
+        Request::Shutdown => Response::ShuttingDown,
     }
 }
 

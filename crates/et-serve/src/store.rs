@@ -109,8 +109,16 @@ pub struct LatencyHistogram {
     count: AtomicU64,
 }
 
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl LatencyHistogram {
-    fn new() -> Self {
+    /// Creates an empty histogram. Public so load generators can reuse the
+    /// same log₂-µs bucketing for client-side per-op latencies.
+    pub fn new() -> Self {
         Self {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),

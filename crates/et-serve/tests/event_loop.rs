@@ -1,0 +1,258 @@
+//! Integration tests for the readiness-based transport: pipelining inside
+//! one TCP segment, the typed `protocol_error` path for oversized lines,
+//! blocking-transport parity, slow-loris eviction through the real serve
+//! binary, and bounded shutdown latency on both transports.
+
+// Test helpers run outside `#[test]` fns, where the workspace
+// allow-expect-in-tests carve-out does not reach.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use et_serve::{
+    run_batch, spawn, Client, CreateSessionSpec, Json, ServeMode, ServerConfig, StoreConfig,
+};
+
+fn server_cfg(mode: ServeMode) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        mode,
+        store: StoreConfig {
+            capacity: 4,
+            shards: 2,
+            idle_timeout: Duration::from_secs(300),
+            base_seed: 7,
+            ..StoreConfig::default()
+        },
+        ..ServerConfig::default()
+    }
+}
+
+fn read_reply(reader: &mut BufReader<TcpStream>) -> Json {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read reply line");
+    assert!(!line.is_empty(), "connection closed before reply");
+    Json::parse(line.trim()).expect("reply is JSON")
+}
+
+/// Several requests written in a single TCP segment are each answered, in
+/// order, on the same connection — the framer must split the segment and
+/// the per-connection inbox must keep arrival order.
+#[test]
+fn pipelined_requests_in_one_tcp_segment() {
+    let handle = spawn(server_cfg(ServeMode::Event)).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let mut raw = TcpStream::connect(&addr).expect("connect");
+    // One write: a bad op (typed error), two statuses, and garbage. Four
+    // replies must come back in exactly this order.
+    raw.write_all(b"{\"op\":\"nope\"}\n{\"op\":\"status\"}\n{\"op\":\"status\"}\nnot json\n")
+        .expect("pipelined write");
+    let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+
+    let first = read_reply(&mut reader);
+    assert_eq!(first.get("ok").and_then(Json::as_bool), Some(false));
+    for _ in 0..2 {
+        let reply = read_reply(&mut reader);
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            reply.get("reply").and_then(Json::as_str),
+            Some("server_status")
+        );
+    }
+    let last = read_reply(&mut reader);
+    assert_eq!(
+        last.get("error").and_then(Json::as_str),
+        Some("parse_error")
+    );
+
+    let mut client = Client::connect(&addr).expect("connect for shutdown");
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// An oversized request line draws one typed `protocol_error` reply and
+/// then the server closes the connection — on both transports, whether or
+/// not the line ever saw its newline.
+#[test]
+fn oversized_line_gets_protocol_error_then_close() {
+    for mode in [ServeMode::Event, ServeMode::Blocking] {
+        let mut cfg = server_cfg(mode);
+        cfg.max_line_bytes = 512;
+        let handle = spawn(cfg).expect("bind");
+        let addr = handle.addr().to_string();
+
+        // Terminated oversized line.
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        let mut big = vec![b'x'; 2048];
+        big.push(b'\n');
+        raw.write_all(&big).expect("oversized write");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        let reply = read_reply(&mut reader);
+        assert_eq!(
+            reply.get("error").and_then(Json::as_str),
+            Some("protocol_error"),
+            "{mode:?}: {reply:?}"
+        );
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("drain to EOF");
+        assert!(
+            rest.is_empty(),
+            "{mode:?}: connection must close after the reply"
+        );
+
+        // Unterminated flood: never sends '\n', must still be rejected
+        // once the ceiling is crossed instead of buffering forever.
+        let mut raw = TcpStream::connect(&addr).expect("connect");
+        raw.write_all(&vec![b'y'; 4096]).expect("flood write");
+        let mut reader = BufReader::new(raw.try_clone().expect("clone"));
+        let reply = read_reply(&mut reader);
+        assert_eq!(
+            reply.get("error").and_then(Json::as_str),
+            Some("protocol_error"),
+            "{mode:?}: {reply:?}"
+        );
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).expect("drain to EOF");
+        assert!(
+            rest.is_empty(),
+            "{mode:?}: connection must close after the reply"
+        );
+
+        let mut client = Client::connect(&addr).expect("connect for shutdown");
+        client.shutdown_server().expect("shutdown");
+        handle.wait();
+    }
+}
+
+/// The `--blocking` transport speaks the identical protocol: a session
+/// driven over it reproduces the seed-matched batch run bit-for-bit, so
+/// the event loop is a pure transport swap with no domain drift.
+#[test]
+fn blocking_transport_matches_batch_exactly() {
+    let handle = spawn(server_cfg(ServeMode::Blocking)).expect("bind");
+    let addr = handle.addr().to_string();
+
+    let spec = CreateSessionSpec {
+        rows: 100,
+        iterations: 5,
+        seed: Some(23),
+        ..CreateSessionSpec::default()
+    };
+    let mut client = Client::connect(&addr).expect("connect");
+    let (session, seed) = client.create_session(&spec).expect("create");
+    let outcome = client.drive_auto(session, seed).expect("drive");
+    client.close_session(session).expect("close");
+
+    let batch = run_batch(&spec, seed).expect("batch");
+    assert_eq!(outcome.mae_series, batch.mae_series());
+    assert_eq!(outcome.converged_at, batch.convergence.converged_at);
+
+    client.shutdown_server().expect("shutdown");
+    handle.wait();
+}
+
+/// Slow-loris defense through the real binary: a connection that dribbles
+/// bytes without ever completing a request line is disconnected by the
+/// idle timer (dribbling is NOT activity), while a well-behaved client on
+/// the same server keeps getting answers.
+#[test]
+fn slow_loris_is_disconnected_by_the_idle_timer() {
+    if !cfg!(unix) {
+        eprintln!("SKIPPED: spawns the serve binary via unix process plumbing");
+        return;
+    }
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--conn-idle-timeout-secs",
+            "1",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut addr = None;
+    while addr.is_none() {
+        let mut line = String::new();
+        let n = stdout.read_line(&mut line).expect("read serve stdout");
+        assert!(n > 0, "serve exited before listening");
+        if let Some(rest) = line.strip_prefix("listening on ") {
+            addr = Some(rest.trim().to_string());
+        }
+    }
+    let addr = addr.unwrap();
+
+    let mut loris = TcpStream::connect(&addr).expect("loris connect");
+    loris
+        .set_read_timeout(Some(Duration::from_millis(250)))
+        .expect("read timeout");
+    let start = Instant::now();
+    let mut disconnected = false;
+    // Dribble one byte every 200ms — far below any byte-level timeout,
+    // but never a complete line. The 1s idle timer must still fire.
+    while start.elapsed() < Duration::from_secs(6) {
+        if loris.write_all(b"x").is_err() {
+            disconnected = true;
+            break;
+        }
+        let mut probe = [0u8; 16];
+        match loris.read(&mut probe) {
+            Ok(0) => {
+                disconnected = true;
+                break;
+            }
+            Ok(_) => {} // no reply is expected; keep dribbling
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => {
+                disconnected = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    assert!(
+        disconnected,
+        "slow-loris connection survived 6s against a 1s idle timer"
+    );
+
+    // The server is still healthy for real clients.
+    let mut client = Client::connect(&addr).expect("healthy connect");
+    let status = client.status(None).expect("status");
+    assert_eq!(status.get("ok").and_then(Json::as_bool), Some(true));
+    client.shutdown_server().expect("shutdown");
+    let code = child.wait().expect("serve exit");
+    assert!(code.success(), "serve exited with {code:?}");
+}
+
+/// Shutdown is event-driven, not polled: from the shutdown request to full
+/// teardown (acceptors, shards, workers joined) stays well under a second
+/// on both transports, even with an idle connection parked on the server.
+#[test]
+fn shutdown_latency_is_bounded_without_polling() {
+    for mode in [ServeMode::Event, ServeMode::Blocking] {
+        let handle = spawn(server_cfg(mode)).expect("bind");
+        let addr = handle.addr().to_string();
+
+        // An idle connection that never speaks: teardown must not wait on it.
+        let _parked = TcpStream::connect(&addr).expect("parked connect");
+
+        let mut client = Client::connect(&addr).expect("connect");
+        let start = Instant::now();
+        client.shutdown_server().expect("shutdown acknowledged");
+        handle.wait();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "{mode:?}: shutdown took {elapsed:?}; a poll interval is hiding somewhere"
+        );
+    }
+}

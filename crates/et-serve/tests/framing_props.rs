@@ -1,0 +1,190 @@
+//! Property tests for the newline framing layer of the event transport:
+//! arbitrary chunking of a byte stream never changes the recovered line
+//! sequence, pipelined lines in one segment come out in order, and any
+//! oversized line poisons the framer with a typed error instead of
+//! ballooning memory or panicking.
+
+use et_serve::conn::{FramingError, LineFramer};
+use proptest::prelude::*;
+
+/// Drains every currently-complete line out of the framer.
+fn drain(f: &mut LineFramer) -> Result<Vec<String>, FramingError> {
+    let mut lines = Vec::new();
+    while let Some(line) = f.next_line()? {
+        lines.push(line);
+    }
+    Ok(lines)
+}
+
+/// A request line that cannot contain its own terminator: a byte-driven
+/// palette biased toward framing hazards (quotes, backslashes, control
+/// bytes, multi-byte UTF-8), never `\n`.
+fn arb_line() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..40).prop_map(|bytes| {
+        bytes
+            .into_iter()
+            .map(|b| match b % 8 {
+                0 => '"',
+                1 => '\\',
+                2 => '\t',
+                3 => '\r',
+                4 => 'é',
+                5 => '😀',
+                _ => char::from(b'a' + (b % 26)),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Partial reads are invisible: however the wire bytes are sliced into
+    /// read-sized chunks, the framer yields exactly the lines that a
+    /// single-shot push yields.
+    #[test]
+    fn chunking_never_changes_the_line_sequence(
+        lines in proptest::collection::vec(arb_line(), 0..12),
+        chunk_sizes in proptest::collection::vec(1usize..16, 1..64),
+    ) {
+        let mut wire = Vec::new();
+        for line in &lines {
+            wire.extend_from_slice(line.as_bytes());
+            wire.push(b'\n');
+        }
+
+        let mut whole = LineFramer::new(usize::MAX / 2);
+        whole.push(&wire);
+        let expected = drain(&mut whole).expect("no ceiling in play");
+
+        let mut chunked = LineFramer::new(usize::MAX / 2);
+        let mut got = Vec::new();
+        let mut offset = 0;
+        // Interleave pushes and drains exactly like the shard's read loop.
+        for &sz in chunk_sizes.iter().cycle() {
+            if offset >= wire.len() {
+                break;
+            }
+            let end = (offset + sz).min(wire.len());
+            chunked.push(&wire[offset..end]);
+            offset = end;
+            got.extend(drain(&mut chunked).expect("no ceiling in play"));
+        }
+        got.extend(drain(&mut chunked).expect("no ceiling in play"));
+
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Pipelining: any number of requests arriving in one TCP segment are
+    /// recovered in order, whether terminated by `\n` or `\r\n`, and the
+    /// lossy-UTF-8 decode matches what each line encoded.
+    #[test]
+    fn pipelined_segment_yields_every_line_in_order(
+        lines in proptest::collection::vec(arb_line(), 1..12),
+        crlf in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let mut wire = Vec::new();
+        for (i, line) in lines.iter().enumerate() {
+            wire.extend_from_slice(line.as_bytes());
+            if crlf[i % crlf.len()] {
+                wire.push(b'\r');
+            }
+            wire.push(b'\n');
+        }
+        let mut f = LineFramer::new(usize::MAX / 2);
+        f.push(&wire);
+        let got = drain(&mut f).expect("no ceiling in play");
+        // Exactly one trailing '\r' is stripped per line: the appended one
+        // under CRLF framing, else a '\r' the line itself happened to end
+        // with (indistinguishable from CRLF on the wire).
+        let expected: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                if crlf[i % crlf.len()] {
+                    l.clone()
+                } else {
+                    l.strip_suffix('\r').unwrap_or(l).to_string()
+                }
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(f.buffered(), 0);
+    }
+
+    /// Any line over the ceiling — complete or still partial — surfaces
+    /// `Oversized` no later than its own extraction, every line before it
+    /// is delivered intact, the error is sticky, and once poisoned the
+    /// framer stops buffering so memory is bounded.
+    #[test]
+    fn oversized_lines_poison_with_bounded_memory(
+        prefix in proptest::collection::vec(arb_line(), 0..4),
+        big_len in 65usize..512,
+        terminated in any::<bool>(),
+        chunk in 1usize..64,
+    ) {
+        let max = 64usize;
+        let mut wire = Vec::new();
+        let mut short_prefix = Vec::new();
+        for line in &prefix {
+            if line.len() <= max {
+                wire.extend_from_slice(line.as_bytes());
+                wire.push(b'\n');
+                // A trailing '\r' reads back as CRLF framing and is stripped.
+                short_prefix.push(line.strip_suffix('\r').unwrap_or(line).to_string());
+            }
+        }
+        wire.extend(std::iter::repeat_n(b'x', big_len));
+        if terminated {
+            wire.push(b'\n');
+        }
+
+        let mut f = LineFramer::new(max);
+        let mut got = Vec::new();
+        let mut saw_error = false;
+        for piece in wire.chunks(chunk) {
+            f.push(piece);
+            match drain(&mut f) {
+                Ok(lines) => got.extend(lines),
+                Err(FramingError::Oversized { max: m }) => {
+                    prop_assert_eq!(m, max);
+                    saw_error = true;
+                }
+            }
+        }
+        // The oversized tail may still be a small partial if the last
+        // chunk hasn't pushed it past the ceiling; one more probe decides.
+        if !saw_error {
+            saw_error = drain(&mut f).is_err();
+        }
+        prop_assert!(saw_error, "an oversized line must poison the framer");
+        prop_assert!(f.poisoned());
+        prop_assert_eq!(got, short_prefix);
+
+        // Sticky and bounded: further pushes are dropped, the error repeats.
+        let before = f.buffered();
+        f.push(&[b'y'; 1024]);
+        prop_assert_eq!(f.buffered(), before);
+        prop_assert_eq!(f.next_line(), Err(FramingError::Oversized { max }));
+    }
+
+    /// Arbitrary garbage bytes never panic the framer, and every byte is
+    /// either yielded, still buffered, or consumed as a terminator.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        chunk in 1usize..32,
+    ) {
+        let mut f = LineFramer::new(usize::MAX / 2);
+        let mut lines = 0usize;
+        for piece in bytes.chunks(chunk) {
+            f.push(piece);
+            lines += drain(&mut f).expect("no ceiling in play").len();
+        }
+        let terminators = bytes.iter().filter(|&&b| b == b'\n').count();
+        prop_assert_eq!(lines, terminators);
+        let consumed = match bytes.iter().rposition(|&b| b == b'\n') {
+            Some(last) => last + 1,
+            None => 0,
+        };
+        prop_assert_eq!(f.buffered(), bytes.len() - consumed);
+    }
+}

@@ -25,6 +25,7 @@ fn test_server(capacity: usize, idle_timeout: Duration) -> (et_serve::ServerHand
             base_seed: 7,
             ..StoreConfig::default()
         },
+        ..ServerConfig::default()
     };
     let handle = spawn(cfg).expect("bind ephemeral port");
     let addr = handle.addr().to_string();

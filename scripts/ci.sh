@@ -52,9 +52,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
 echo "==> cargo test --workspace"
 cargo test --workspace -q
 
-echo "==> et-serve bins + server integration test"
+echo "==> et-serve bins + server integration + event-loop transport tests"
 cargo build -q --release -p et-serve --bins
 cargo test -q -p et-serve --test server_integration
+cargo test -q -p et-serve --test framing_props
+cargo test -q -p et-serve --test event_loop
 
 echo "==> crash-injection recovery (kill -9 through the real serve binary, budget ${CRASH_BUDGET_SECS:=120}s)"
 # On non-unix hosts the test itself prints SKIPPED and passes vacuously;
@@ -81,12 +83,34 @@ cargo build -q --release -p et-bench --benches --bins
 BENCH_OUT="$(mktemp /tmp/et-bench-substrate.XXXXXX.json)"
 if ! ./target/release/bench_json --quick --out "$BENCH_OUT" \
   --gate round_latency_delta_vs_full_speedup:1.0 \
+  --gate alloc_free_score_parity:0.95 \
   || [ ! -s "$BENCH_OUT" ]; then
   echo "FATAL: bench_json failed to produce $BENCH_OUT or a gate failed" >&2
-  echo "       (baseline unregenerable, or delta rescoring lost to a full rescore)" >&2
+  echo "       (baseline unregenerable, delta rescoring lost to a full rescore," >&2
+  echo "        or the alloc-free scoring path fell below parity)" >&2
   exit 1
 fi
 rm -f "$BENCH_OUT"
+
+echo "==> bench_serve smoke (quick profile, budget ${SERVE_BENCH_BUDGET_SECS:=90}s)"
+# The serving benchmark must stay regenerable AND the event loop must never
+# lose to thread-per-connection at equal worker count — if it does, the
+# readiness transport has stopped earning its complexity. The wall clock is
+# bounded so a wedged shard cannot hang the gate.
+SERVE_OUT="$(mktemp /tmp/et-bench-serve.XXXXXX.json)"
+BENCH_SERVE_CMD=(./target/release/bench_serve --quick --out "$SERVE_OUT"
+  --gate event_loop_vs_blocking_throughput_speedup:1.0)
+if command -v timeout >/dev/null 2>&1; then
+  BENCH_SERVE_CMD=(timeout "${SERVE_BENCH_BUDGET_SECS}" "${BENCH_SERVE_CMD[@]}")
+else
+  echo "    timeout(1) unavailable: running bench_serve unbounded"
+fi
+if ! "${BENCH_SERVE_CMD[@]}" || [ ! -s "$SERVE_OUT" ]; then
+  echo "FATAL: bench_serve failed, exceeded ${SERVE_BENCH_BUDGET_SECS}s, or a gate failed" >&2
+  echo "       (BENCH_serve.json unregenerable, or the event loop lost to blocking IO)" >&2
+  exit 1
+fi
+rm -f "$SERVE_OUT"
 
 echo "==> invariant-checks feature armed (facade + gated crates)"
 cargo test -q --features invariant-checks
@@ -117,6 +141,14 @@ if tsan_probe; then
     TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan-suppressions.txt" \
     CARGO_TARGET_DIR=target/tsan \
     cargo +nightly test -q -p et-serve --test server_integration \
+    --target "$TSAN_TARGET"
+  echo "==> ThreadSanitizer: et-serve event-loop transport suite"
+  # Shards, acceptors, workers, and the completion mailboxes all cross
+  # threads; the event-loop suite drives them under the race detector.
+  RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
+    TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan-suppressions.txt" \
+    CARGO_TARGET_DIR=target/tsan \
+    cargo +nightly test -q -p et-serve --test event_loop \
     --target "$TSAN_TARGET"
   echo "==> ThreadSanitizer: et-fd parallel index/matrix builds + shared cache"
   RUSTFLAGS="-Zsanitizer=thread -Cunsafe-allow-abi-mismatch=sanitizer" \
